@@ -1,0 +1,168 @@
+package idonly
+
+import (
+	"idonly/internal/adversary"
+	"idonly/internal/async"
+	"idonly/internal/core/approx"
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/dynamic"
+	"idonly/internal/core/parallel"
+	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// This file is the library's public surface: curated aliases and
+// constructors over the internal packages, so that code outside this
+// module can use the id-only algorithms without reaching into
+// internal/. The examples/ directory uses exactly this API.
+
+// ---------------------------------------------------------------------
+// Identifiers and randomness
+// ---------------------------------------------------------------------
+
+// NodeID is a node identifier: unique, not necessarily consecutive.
+type NodeID = ids.ID
+
+// Rand is the deterministic generator used for reproducible workloads.
+type Rand = ids.Rand
+
+// NewRand returns a seeded deterministic generator.
+func NewRand(seed uint64) *Rand { return ids.NewRand(seed) }
+
+// SparseIDs returns n unique non-consecutive identifiers (sorted).
+func SparseIDs(r *Rand, n int) []NodeID { return ids.Sparse(r, n) }
+
+// ---------------------------------------------------------------------
+// Synchronous simulator
+// ---------------------------------------------------------------------
+
+// Process is a correct synchronous protocol participant.
+type Process = sim.Process
+
+// Adversary drives the faulty nodes.
+type Adversary = sim.Adversary
+
+// Message, Send, Config, Metrics and Runner are the synchronous
+// simulator types; see package idonly/internal/sim for semantics.
+type (
+	Message = sim.Message
+	Send    = sim.Send
+	Config  = sim.Config
+	Metrics = sim.Metrics
+	Runner  = sim.Runner
+)
+
+// NewRunner builds a synchronous system over correct processes, faulty
+// ids, and the adversary controlling them.
+func NewRunner(cfg Config, procs []Process, faulty []NodeID, adv Adversary) *Runner {
+	return sim.NewRunner(cfg, procs, faulty, adv)
+}
+
+// ---------------------------------------------------------------------
+// The id-only protocols (paper Algorithms 1–6)
+// ---------------------------------------------------------------------
+
+// NewReliableBroadcast returns an Algorithm 1 node; if source is true
+// the node reliably broadcasts (m, id) in round 1.
+func NewReliableBroadcast(id NodeID, source bool, m string) *rbroadcast.Node {
+	return rbroadcast.New(id, source, m)
+}
+
+// ReliableBroadcastNode is the Algorithm 1 process type.
+type ReliableBroadcastNode = rbroadcast.Node
+
+// NewRotorCoordinator returns an Algorithm 2 node with opinion x.
+func NewRotorCoordinator(id NodeID, x float64) *rotor.Node { return rotor.New(id, x) }
+
+// RotorNode is the Algorithm 2 process type.
+type RotorNode = rotor.Node
+
+// NewConsensus returns an Algorithm 3 node with real-valued input x.
+func NewConsensus(id NodeID, x float64) *consensus.Node { return consensus.New(id, x) }
+
+// ConsensusNode is the Algorithm 3 process type.
+type ConsensusNode = consensus.Node
+
+// NewApproxAgreement returns a one-shot Algorithm 4 node with input x.
+func NewApproxAgreement(id NodeID, x float64) *approx.Node { return approx.New(id, x) }
+
+// NewIteratedApprox returns an Algorithm 4 node that iterates the
+// broadcast-trim-midpoint step the given number of times; it may join a
+// running system at any round.
+func NewIteratedApprox(id NodeID, x float64, iterations int) *approx.Iterated {
+	return approx.NewIterated(id, x, iterations)
+}
+
+// PairID identifies a parallel-consensus input pair; Val is an opinion
+// (a string value or the distinguished Bot).
+type (
+	PairID = parallel.PairID
+	Val    = parallel.Val
+)
+
+// Bot is the missing-opinion value ⊥ of Algorithm 5.
+var Bot = parallel.Bot
+
+// V wraps a string as a parallel-consensus opinion.
+func V(s string) Val { return parallel.V(s) }
+
+// NewParallelConsensus returns an Algorithm 5 node with the given input
+// pairs.
+func NewParallelConsensus(id NodeID, inputs map[PairID]Val) *parallel.Node {
+	return parallel.NewNode(id, inputs)
+}
+
+// DynamicConfig configures an Algorithm 6 total-ordering participant;
+// OrderedEvent is one entry of its chain.
+type (
+	DynamicConfig = dynamic.Config
+	OrderedEvent  = dynamic.Event
+)
+
+// NewDynamicOrder returns an Algorithm 6 node. With cfg.Founders set it
+// bootstraps as a founding member; otherwise it joins a running system
+// via the present/ack protocol.
+func NewDynamicOrder(cfg DynamicConfig) *dynamic.Node { return dynamic.New(cfg) }
+
+// ---------------------------------------------------------------------
+// Adversaries (a curated selection; more in internal/adversary)
+// ---------------------------------------------------------------------
+
+// SilentAdversary never sends anything.
+func SilentAdversary() Adversary { return adversary.Silent{} }
+
+// SplitBrainAdversary pushes opposite consensus values to the two
+// halves of the system at every protocol step.
+func SplitBrainAdversary(x1, x2 float64, all []NodeID) Adversary {
+	return adversary.ConsSplit{X1: x1, X2: x2, All: all}
+}
+
+// ChaosAdversary fuzzes every protocol with seeded random payloads.
+func ChaosAdversary(seed uint64, all []NodeID) Adversary {
+	return adversary.NewChaos(seed, all)
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous demonstrations (paper Section IX)
+// ---------------------------------------------------------------------
+
+// AsyncProcess, AsyncScheduler and DelayFn expose the event-driven
+// simulator used by the impossibility demonstrations.
+type (
+	AsyncProcess   = async.Process
+	AsyncScheduler = async.Scheduler
+	DelayFn        = async.DelayFn
+)
+
+// NewAsyncScheduler builds an asynchronous system with the given delay
+// policy.
+func NewAsyncScheduler(procs []AsyncProcess, delay DelayFn) *AsyncScheduler {
+	return async.NewScheduler(procs, delay)
+}
+
+// PartitionDelay builds the Lemma 14/15 partition delay policy.
+func PartitionDelay(groupA map[NodeID]bool, inner, cross float64) DelayFn {
+	return async.PartitionDelay(groupA, inner, cross)
+}

@@ -1,0 +1,104 @@
+package idonly_test
+
+import (
+	"testing"
+
+	"idonly"
+)
+
+// The API test exercises the public facade exactly as an external user
+// would: build a system, run it, inspect outcomes.
+
+func TestPublicAPIConsensus(t *testing.T) {
+	rng := idonly.NewRand(1)
+	all := idonly.SparseIDs(rng, 7)
+	correct, faulty := all[:5], all[5:]
+
+	var nodes []*idonly.ConsensusNode
+	var procs []idonly.Process
+	for i, id := range correct {
+		nd := idonly.NewConsensus(id, float64(i%2))
+		nodes = append(nodes, nd)
+		procs = append(procs, nd)
+	}
+	r := idonly.NewRunner(idonly.Config{StopWhenAllDecided: true}, procs, faulty,
+		idonly.SplitBrainAdversary(0, 1, all))
+	m := r.Run(nil)
+
+	if m.Rounds == 0 || m.MessagesDelivered == 0 {
+		t.Fatal("metrics empty")
+	}
+	for _, nd := range nodes {
+		if !nd.Decided() || nd.Value() != nodes[0].Value() {
+			t.Fatalf("public API consensus failed: %v", nd)
+		}
+	}
+}
+
+func TestPublicAPIReliableBroadcast(t *testing.T) {
+	rng := idonly.NewRand(2)
+	all := idonly.SparseIDs(rng, 4)
+	var nodes []*idonly.ReliableBroadcastNode
+	var procs []idonly.Process
+	for i, id := range all {
+		nd := idonly.NewReliableBroadcast(id, i == 0, "hello")
+		nodes = append(nodes, nd)
+		procs = append(procs, nd)
+	}
+	r := idonly.NewRunner(idonly.Config{MaxRounds: 5}, procs, nil, nil)
+	r.Run(nil)
+	for _, nd := range nodes {
+		if _, ok := nd.Accepted("hello", all[0]); !ok {
+			t.Fatal("broadcast not accepted via public API")
+		}
+	}
+}
+
+func TestPublicAPIParallel(t *testing.T) {
+	rng := idonly.NewRand(3)
+	all := idonly.SparseIDs(rng, 4)
+	var procs []idonly.Process
+	var nodes []*struct{}
+	_ = nodes
+	var pnodes []interface {
+		Outputs() map[idonly.PairID]idonly.Val
+		Decided() bool
+	}
+	for _, id := range all {
+		nd := idonly.NewParallelConsensus(id, map[idonly.PairID]idonly.Val{1: idonly.V("x")})
+		pnodes = append(pnodes, nd)
+		procs = append(procs, nd)
+	}
+	r := idonly.NewRunner(idonly.Config{StopWhenAllDecided: true}, procs, nil, nil)
+	r.Run(nil)
+	for _, nd := range pnodes {
+		out := nd.Outputs()
+		if out[1] != idonly.V("x") {
+			t.Fatalf("parallel output %v", out)
+		}
+	}
+}
+
+func TestPublicAPIDynamicAndAsync(t *testing.T) {
+	// dynamic
+	rng := idonly.NewRand(4)
+	all := idonly.SparseIDs(rng, 4)
+	var dnodes []interface{ Chain() []idonly.OrderedEvent }
+	var procs []idonly.Process
+	for _, id := range all {
+		nd := idonly.NewDynamicOrder(idonly.DynamicConfig{
+			ID: id, Founders: all, Witness: map[int][]string{2: {"e"}},
+		})
+		dnodes = append(dnodes, nd)
+		procs = append(procs, nd)
+	}
+	r := idonly.NewRunner(idonly.Config{MaxRounds: 30}, procs, nil, nil)
+	r.Run(nil)
+	if len(dnodes[0].Chain()) == 0 {
+		t.Fatal("dynamic chain empty via public API")
+	}
+
+	// async partition
+	groupA := map[idonly.NodeID]bool{all[0]: true, all[1]: true}
+	_ = idonly.NewAsyncScheduler(nil, idonly.PartitionDelay(groupA, 1, -1))
+}

@@ -1,0 +1,54 @@
+// Command idonly-bench regenerates every experiment table of the
+// reproduction (E1–E10; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-claim vs measured).
+//
+// Usage:
+//
+//	idonly-bench                 # run everything
+//	idonly-bench -run E4,E5      # run a subset
+//	idonly-bench -seed 7         # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"idonly/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Uint64("seed", 42, "workload seed (runs are deterministic per seed)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	any := false
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		any = true
+		start := time.Now()
+		tables := exp.Run(*seed)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; available:\n", *run)
+		for _, exp := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", exp.ID, exp.Name)
+		}
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,171 @@
+// Command idonly-sim runs a single protocol instance of the id-only
+// library with configurable size, fault count, adversary and seed, and
+// prints per-node outcomes plus run metrics.
+//
+// Usage:
+//
+//	idonly-sim -protocol consensus -n 10 -f 3 -adversary split
+//	idonly-sim -protocol rbroadcast -n 31 -f 10
+//	idonly-sim -protocol rotor -n 13 -f 4 -adversary hidden
+//	idonly-sim -protocol approx -n 10 -f 3 -iters 8
+//	idonly-sim -protocol parallel -n 7 -f 2 -pairs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"idonly/internal/adversary"
+	"idonly/internal/core/approx"
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/parallel"
+	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "consensus", "rbroadcast | rotor | consensus | approx | parallel")
+		n        = flag.Int("n", 10, "total nodes (not known to the nodes themselves)")
+		f        = flag.Int("f", 3, "Byzantine nodes (not known to the nodes themselves)")
+		adv      = flag.String("adversary", "silent", "silent | split | stubborn | hidden | replay")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		iters    = flag.Int("iters", 8, "iterations (approx)")
+		pairs    = flag.Int("pairs", 3, "input pairs (parallel)")
+	)
+	flag.Parse()
+
+	if *n <= 3**f {
+		fmt.Fprintf(os.Stderr, "warning: n=%d ≤ 3f=%d — outside the algorithms' resiliency; expect violations\n", *n, 3**f)
+	}
+	rng := ids.NewRand(*seed)
+	all := ids.Sparse(rng, *n)
+	correct := all[:*n-*f]
+	faulty := all[*n-*f:]
+
+	pick := func() sim.Adversary {
+		switch *adv {
+		case "silent":
+			return adversary.Silent{}
+		case "split":
+			return adversary.ConsSplit{X1: 0, X2: 1, All: all}
+		case "stubborn":
+			return adversary.ConsStubborn{X: 9}
+		case "hidden":
+			per := make(map[ids.ID]sim.Adversary)
+			for i, id := range faulty {
+				per[id] = &adversary.RotorHidden{Subset: correct[:1+i%len(correct)], All: all, X1: -1, X2: -2}
+			}
+			return adversary.Compose{PerNode: per}
+		case "replay":
+			return adversary.Replay{}
+		default:
+			log.Fatalf("unknown adversary %q", *adv)
+			return nil
+		}
+	}
+	var a sim.Adversary
+	if *f > 0 {
+		a = pick()
+	}
+
+	switch *protocol {
+	case "rbroadcast":
+		var nodes []*rbroadcast.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := rbroadcast.New(id, i == 0, "payload")
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		r := sim.NewRunner(sim.Config{MaxRounds: 10}, procs, faulty, a)
+		m := r.Run(func(round int) bool { return round >= 6 })
+		report(m)
+		for _, nd := range nodes {
+			if round, ok := nd.Accepted("payload", correct[0]); ok {
+				fmt.Printf("node %12d accepted in round %d (nv=%d)\n", nd.ID(), round, nd.NV())
+			} else {
+				fmt.Printf("node %12d did NOT accept\n", nd.ID())
+			}
+		}
+
+	case "rotor":
+		var nodes []*rotor.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := rotor.New(id, float64(i))
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		r := sim.NewRunner(sim.Config{MaxRounds: 10 * *n, StopWhenAllDecided: true}, procs, faulty, a)
+		m := r.Run(nil)
+		report(m)
+		for _, nd := range nodes {
+			fmt.Printf("node %12d terminated round %d; selections %v\n", nd.ID(), nd.DoneRound(), nd.Selected())
+		}
+
+	case "consensus":
+		var nodes []*consensus.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := consensus.New(id, float64(i%2))
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		r := sim.NewRunner(sim.Config{StopWhenAllDecided: true}, procs, faulty, a)
+		m := r.Run(nil)
+		report(m)
+		for _, nd := range nodes {
+			fmt.Printf("node %12d decided %v in round %d (phases %d, nv %d)\n",
+				nd.ID(), nd.Value(), nd.DecidedRound(), nd.Phases(), nd.NV())
+		}
+
+	case "approx":
+		var nodes []*approx.Iterated
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := approx.NewIterated(id, float64(10*i), *iters)
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		if *f > 0 {
+			a = adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
+		}
+		r := sim.NewRunner(sim.Config{MaxRounds: *iters + 2, StopWhenAllDecided: true}, procs, faulty, a)
+		m := r.Run(nil)
+		report(m)
+		for _, nd := range nodes {
+			fmt.Printf("node %12d converged to %.6f (history %v)\n", nd.ID(), nd.Value(), nd.History)
+		}
+
+	case "parallel":
+		var nodes []*parallel.Node
+		var procs []sim.Process
+		for _, id := range correct {
+			inputs := make(map[parallel.PairID]parallel.Val)
+			for p := 0; p < *pairs; p++ {
+				inputs[parallel.PairID(p+1)] = parallel.V(fmt.Sprintf("value-%d", p))
+			}
+			nd := parallel.NewNode(id, inputs)
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		r := sim.NewRunner(sim.Config{StopWhenAllDecided: true}, procs, faulty, a)
+		m := r.Run(nil)
+		report(m)
+		for _, nd := range nodes {
+			fmt.Printf("node %12d output %v\n", nd.ID(), nd.Outputs())
+		}
+
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
+	}
+}
+
+func report(m sim.Metrics) {
+	fmt.Printf("rounds=%d messages=%d duplicates-dropped=%d\n\n", m.Rounds, m.MessagesDelivered, m.MessagesDropped)
+}

@@ -1,0 +1,88 @@
+// Command idonly-trace runs a small consensus instance and dumps a
+// round-by-round message trace — every send of every correct node —
+// which is the fastest way to see the five-round phase structure
+// (input / prefer / strongprefer / rotor / evaluate) on the wire.
+//
+// Usage:
+//
+//	idonly-trace -n 4 -f 1 -rounds 14
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"idonly/internal/adversary"
+	"idonly/internal/core/consensus"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 4, "total nodes")
+		f      = flag.Int("f", 1, "Byzantine nodes")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		rounds = flag.Int("rounds", 14, "max rounds to trace")
+	)
+	flag.Parse()
+
+	rng := ids.NewRand(*seed)
+	all := ids.Sparse(rng, *n)
+	correct := all[:*n-*f]
+	faulty := all[*n-*f:]
+
+	short := make(map[ids.ID]string)
+	for i, id := range all {
+		short[id] = fmt.Sprintf("N%d", i)
+	}
+
+	var nodes []*consensus.Node
+	var procs []sim.Process
+	for i, id := range correct {
+		nd := consensus.New(id, float64(i%2))
+		nodes = append(nodes, nd)
+		procs = append(procs, nd)
+	}
+	var adv sim.Adversary
+	if *f > 0 {
+		adv = adversary.ConsSplit{X1: 0, X2: 1, All: all}
+	}
+
+	lastRound := 0
+	cfg := sim.Config{
+		MaxRounds:          *rounds,
+		StopWhenAllDecided: true,
+		Observer: func(round int, from ids.ID, sends []sim.Send) {
+			if round != lastRound {
+				fmt.Printf("--- round %d (%s) ---\n", round, phaseName(round))
+				lastRound = round
+			}
+			for _, s := range sends {
+				to := "∗"
+				if s.To != sim.Broadcast {
+					to = short[s.To]
+				}
+				fmt.Printf("  %s → %s: %#v\n", short[from], to, s.Payload)
+			}
+		},
+	}
+	r := sim.NewRunner(cfg, procs, faulty, adv)
+	r.Run(nil)
+
+	fmt.Println("\noutcome:")
+	for _, nd := range nodes {
+		fmt.Printf("  %s (id %d) decided %v in round %d\n",
+			short[nd.ID()], nd.ID(), nd.Value(), nd.DecidedRound())
+	}
+}
+
+func phaseName(round int) string {
+	if round <= consensus.InitRounds {
+		return fmt.Sprintf("init %d", round)
+	}
+	pos := (round - consensus.InitRounds - 1) % consensus.PhaseRounds
+	phase := (round-consensus.InitRounds-1)/consensus.PhaseRounds + 1
+	names := []string{"A: input", "B: prefer", "C: strongprefer", "D: rotor", "E: evaluate"}
+	return fmt.Sprintf("phase %d, %s", phase, names[pos])
+}

@@ -1,0 +1,19 @@
+// Package idonly is a from-scratch Go reproduction of "Byzantine
+// Agreement with Unknown Participants and Failures" (Khanchandani &
+// Wattenhofer, IPDPS 2021, arXiv:2102.10442): Byzantine agreement
+// primitives for synchronous systems in which nodes know neither the
+// number of participants n nor the fault bound f, with the optimal
+// resiliency n > 3f.
+//
+// The implementation lives under internal/: the protocols in
+// internal/core (reliable broadcast, rotor-coordinator, consensus,
+// approximate agreement, parallel consensus, dynamic total ordering),
+// the synchronous and asynchronous simulators in internal/sim and
+// internal/async, the classical known-n,f baselines in
+// internal/baseline, Byzantine strategies in internal/adversary, and
+// the experiment harness in internal/experiments. See README.md for a
+// guided tour, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the paper-claim vs measured record. The benchmarks in this
+// package (bench_test.go) exercise one representative workload per
+// experiment E1–E10.
+package idonly

@@ -1,0 +1,234 @@
+// Package async is an event-driven simulator for asynchronous and
+// semi-synchronous message passing, used to demonstrate the paper's
+// Section IX impossibility results: when nodes know neither n nor f,
+// consensus — even with probabilistic termination — is impossible
+// without synchrony (Lemma 14) and with an unknown delay bound
+// (Lemma 15).
+//
+// An impossibility theorem cannot be "run"; what can be run is its
+// construction. The package ships two representative protocols that
+// any async/semi-sync consensus attempt must resemble (a node must
+// eventually decide from local information only, since it cannot count
+// to an unknown n):
+//
+//   - ClosureGossip decides when its knowledge of the participant set
+//     has stabilized into a mutually confirmed closure — the natural
+//     "wait until nothing new appears" rule of pure asynchrony;
+//   - TimeoutQuorum guesses a delay bound, waits it out, and decides
+//     the majority of the values heard — the natural semi-synchronous
+//     rule with an assumed Δ.
+//
+// Under benign delays both decide unanimously. Under the paper's
+// partition constructions — cross-partition delays exceeding the
+// decision horizon — both terminate with a split decision, exactly the
+// executions built in Lemmas 14 and 15. Experiment E7 sweeps the
+// actual delay bound against the protocol's horizon and reports the
+// disagreement frequency.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"idonly/internal/ids"
+)
+
+// Broadcast is the destination meaning "all nodes".
+const Broadcast ids.ID = 0
+
+// Message is a delivered message.
+type Message struct {
+	From    ids.ID
+	Payload any
+}
+
+// Send is an outgoing message request.
+type Send struct {
+	To      ids.ID
+	Payload any
+}
+
+// Process is an asynchronous protocol participant. Init runs at time 0;
+// Handle runs once per delivered message; HandleTimer runs when a timer
+// set via the context fires.
+type Process interface {
+	ID() ids.ID
+	Init(ctx *Context) []Send
+	Handle(ctx *Context, msg Message) []Send
+	HandleTimer(ctx *Context, name string) []Send
+	Decided() bool
+	Output() any
+}
+
+// Context gives a process access to the clock and timers.
+type Context struct {
+	Now   float64
+	sched *Scheduler
+	self  ids.ID
+}
+
+// SetTimer schedules a timer event for this process at Now + d.
+func (c *Context) SetTimer(name string, d float64) {
+	c.sched.push(event{
+		at:    c.Now + d,
+		kind:  evTimer,
+		to:    c.self,
+		timer: name,
+	})
+}
+
+// DelayFn assigns a delivery delay to each message. Returning a
+// negative value drops the message (an infinite delay).
+type DelayFn func(from, to ids.ID, payload any) float64
+
+// UniformDelay returns delays uniform in [lo, hi] drawn from rng.
+func UniformDelay(rng *ids.Rand, lo, hi float64) DelayFn {
+	return func(ids.ID, ids.ID, any) float64 {
+		return lo + (hi-lo)*rng.Float64()
+	}
+}
+
+// PartitionDelay delays messages inside a partition by inner and
+// messages across the cut by cross (negative cross = never delivered:
+// the Lemma 14 construction; a large finite cross is the Lemma 15
+// construction).
+func PartitionDelay(groupA map[ids.ID]bool, inner, cross float64) DelayFn {
+	return func(from, to ids.ID, _ any) float64 {
+		if groupA[from] == groupA[to] {
+			return inner
+		}
+		return cross
+	}
+}
+
+type evKind int
+
+const (
+	evMessage evKind = iota
+	evTimer
+)
+
+type event struct {
+	at    float64
+	seq   int // deterministic tie-break
+	kind  evKind
+	to    ids.ID
+	from  ids.ID
+	pay   any
+	timer string
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Scheduler executes an asynchronous system deterministically.
+type Scheduler struct {
+	procs  map[ids.ID]Process
+	order  []ids.ID
+	delay  DelayFn
+	queue  eventQueue
+	seq    int
+	now    float64
+	events int
+}
+
+// NewScheduler creates a scheduler over the given processes with the
+// given delay policy.
+func NewScheduler(procs []Process, delay DelayFn) *Scheduler {
+	s := &Scheduler{procs: make(map[ids.ID]Process, len(procs)), delay: delay}
+	for _, p := range procs {
+		if _, dup := s.procs[p.ID()]; dup {
+			panic(fmt.Sprintf("async: duplicate process id %d", p.ID()))
+		}
+		s.procs[p.ID()] = p
+		s.order = append(s.order, p.ID())
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return s
+}
+
+func (s *Scheduler) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *Scheduler) dispatch(from ids.ID, sends []Send) {
+	for _, snd := range sends {
+		targets := []ids.ID{snd.To}
+		if snd.To == Broadcast {
+			targets = s.order
+		}
+		for _, to := range targets {
+			d := s.delay(from, to, snd.Payload)
+			if d < 0 {
+				continue // dropped / infinitely delayed
+			}
+			s.push(event{at: s.now + d, kind: evMessage, to: to, from: from, pay: snd.Payload})
+		}
+	}
+}
+
+// Run executes events until the horizon (or until the queue drains, or
+// every process decided). It returns the number of events processed.
+func (s *Scheduler) Run(horizon float64) int {
+	heap.Init(&s.queue)
+	for _, id := range s.order {
+		p := s.procs[id]
+		ctx := &Context{Now: 0, sched: s, self: id}
+		s.dispatch(id, p.Init(ctx))
+	}
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(event)
+		if e.at > horizon {
+			break
+		}
+		s.now = e.at
+		p := s.procs[e.to]
+		if p == nil || p.Decided() {
+			continue
+		}
+		ctx := &Context{Now: e.at, sched: s, self: e.to}
+		var sends []Send
+		if e.kind == evTimer {
+			sends = p.HandleTimer(ctx, e.timer)
+		} else {
+			sends = p.Handle(ctx, Message{From: e.from, Payload: e.pay})
+		}
+		s.dispatch(e.to, sends)
+		s.events++
+		if s.allDecided() {
+			break
+		}
+	}
+	return s.events
+}
+
+func (s *Scheduler) allDecided() bool {
+	for _, p := range s.procs {
+		if !p.Decided() {
+			return false
+		}
+	}
+	return true
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() float64 { return s.now }

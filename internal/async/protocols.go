@@ -1,0 +1,216 @@
+package async
+
+import (
+	"sort"
+	"strings"
+
+	"idonly/internal/ids"
+)
+
+// ---------------------------------------------------------------------
+// ClosureGossip: the pure-asynchrony strawman of Lemma 14
+// ---------------------------------------------------------------------
+
+// Hello announces a node and its binary input.
+type Hello struct {
+	Val int
+}
+
+// GossipMsg reports the sender's current view of the participant set
+// (a canonical fingerprint) so peers can detect mutual closure.
+type GossipMsg struct {
+	Fingerprint string
+	Val         int
+}
+
+// ClosureGossip decides once its knowledge of the system has closed:
+// every node it knows has confirmed exactly the same participant set.
+// In an asynchronous system this is as good as any rule can be — a
+// node that does not know n cannot distinguish "everyone I will ever
+// hear from" from "everyone who is not behind an arbitrary delay",
+// which is precisely the indistinguishability Lemma 14 exploits.
+type ClosureGossip struct {
+	id      ids.ID
+	val     int
+	known   map[ids.ID]int    // id -> value
+	views   map[ids.ID]string // latest fingerprint reported per id
+	decided bool
+	output  int
+}
+
+// NewClosureGossip returns a node with the given binary input.
+func NewClosureGossip(id ids.ID, val int) *ClosureGossip {
+	return &ClosureGossip{
+		id:    id,
+		val:   val,
+		known: map[ids.ID]int{id: val},
+		views: make(map[ids.ID]string),
+	}
+}
+
+// ID implements Process.
+func (c *ClosureGossip) ID() ids.ID { return c.id }
+
+// Decided implements Process.
+func (c *ClosureGossip) Decided() bool { return c.decided }
+
+// Output implements Process.
+func (c *ClosureGossip) Output() any { return c.output }
+
+// Value returns the decided value.
+func (c *ClosureGossip) Value() int { return c.output }
+
+// Init implements Process.
+func (c *ClosureGossip) Init(ctx *Context) []Send {
+	return []Send{{To: Broadcast, Payload: Hello{Val: c.val}}}
+}
+
+// HandleTimer implements Process (unused).
+func (c *ClosureGossip) HandleTimer(*Context, string) []Send { return nil }
+
+// Handle implements Process.
+func (c *ClosureGossip) Handle(ctx *Context, msg Message) []Send {
+	changed := false
+	switch p := msg.Payload.(type) {
+	case Hello:
+		if _, ok := c.known[msg.From]; !ok {
+			c.known[msg.From] = p.Val
+			changed = true
+		}
+		// A Hello may be reordered after the sender's gossip; its view
+		// entry stays whatever the latest GossipMsg reported.
+	case GossipMsg:
+		if _, ok := c.known[msg.From]; !ok {
+			c.known[msg.From] = p.Val
+			changed = true
+		}
+		// Gossips may be reordered; a sender's set only grows, so the
+		// longest fingerprint is the most recent view.
+		if len(p.Fingerprint) > len(c.views[msg.From]) {
+			c.views[msg.From] = p.Fingerprint
+		}
+	}
+	fp := c.fingerprint()
+	var out []Send
+	if changed {
+		out = append(out, Send{To: Broadcast, Payload: GossipMsg{Fingerprint: fp, Val: c.val}})
+	}
+	// Closure: everyone I know has confirmed exactly my set.
+	closed := true
+	for id := range c.known {
+		if id == c.id {
+			continue
+		}
+		if c.views[id] != fp {
+			closed = false
+			break
+		}
+	}
+	if closed && len(c.known) > 1 {
+		c.decided = true
+		c.output = c.majority()
+	}
+	return out
+}
+
+func (c *ClosureGossip) fingerprint() string {
+	idsSorted := make([]ids.ID, 0, len(c.known))
+	for id := range c.known {
+		idsSorted = append(idsSorted, id)
+	}
+	sort.Slice(idsSorted, func(i, j int) bool { return idsSorted[i] < idsSorted[j] })
+	var b strings.Builder
+	for _, id := range idsSorted {
+		b.WriteByte('.')
+		for sh := 56; sh >= 0; sh -= 8 {
+			b.WriteByte(byte(id >> uint(sh)))
+		}
+	}
+	return b.String()
+}
+
+func (c *ClosureGossip) majority() int {
+	ones := 0
+	for _, v := range c.known {
+		if v == 1 {
+			ones++
+		}
+	}
+	if 2*ones > len(c.known) {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// TimeoutQuorum: the semi-synchrony strawman of Lemma 15
+// ---------------------------------------------------------------------
+
+// TimeoutQuorum broadcasts its value, waits out a guessed delay bound,
+// and decides the majority of the values heard. If the true (unknown)
+// bound Δ exceeds the guess, the Lemma 15 construction splits the
+// system.
+type TimeoutQuorum struct {
+	id      ids.ID
+	val     int
+	guess   float64
+	heard   map[ids.ID]int
+	decided bool
+	output  int
+}
+
+// NewTimeoutQuorum returns a node with input val that assumes all
+// messages arrive within guess time units.
+func NewTimeoutQuorum(id ids.ID, val int, guess float64) *TimeoutQuorum {
+	return &TimeoutQuorum{id: id, val: val, guess: guess, heard: map[ids.ID]int{id: val}}
+}
+
+// ID implements Process.
+func (t *TimeoutQuorum) ID() ids.ID { return t.id }
+
+// Decided implements Process.
+func (t *TimeoutQuorum) Decided() bool { return t.decided }
+
+// Output implements Process.
+func (t *TimeoutQuorum) Output() any { return t.output }
+
+// Value returns the decided value.
+func (t *TimeoutQuorum) Value() int { return t.output }
+
+// Init implements Process.
+func (t *TimeoutQuorum) Init(ctx *Context) []Send {
+	ctx.SetTimer("decide", t.guess*2) // one round trip at the guessed bound
+	return []Send{{To: Broadcast, Payload: Hello{Val: t.val}}}
+}
+
+// Handle implements Process.
+func (t *TimeoutQuorum) Handle(ctx *Context, msg Message) []Send {
+	if h, ok := msg.Payload.(Hello); ok {
+		if _, seen := t.heard[msg.From]; !seen {
+			t.heard[msg.From] = h.Val
+		}
+	}
+	return nil
+}
+
+// HandleTimer implements Process.
+func (t *TimeoutQuorum) HandleTimer(ctx *Context, name string) []Send {
+	if name == "decide" && !t.decided {
+		t.decided = true
+		ones := 0
+		for _, v := range t.heard {
+			if v == 1 {
+				ones++
+			}
+		}
+		if 2*ones > len(t.heard) {
+			t.output = 1
+		} else {
+			t.output = 0
+		}
+	}
+	return nil
+}
+
+// Known returns the number of participants this node knows (debug aid).
+func (c *ClosureGossip) Known() int { return len(c.known) }

@@ -1,0 +1,277 @@
+// Package consensus implements Algorithm 3 of the paper: an O(f)-round
+// early-terminating consensus in the id-only model, generalizing the
+// Berman–Garay–Perry construction to unknown n and f.
+//
+// Opinions are real numbers (the paper uses reals so the algorithm can
+// later order arbitrary events). Each phase spans five rounds:
+//
+//	A: broadcast input(xv)
+//	B: count inputs;  ≥ 2nv/3 on one value  -> broadcast prefer(x)
+//	C: count prefers; ≥ nv/3 -> adopt x; ≥ 2nv/3 -> broadcast strongprefer(x)
+//	D: rotor-coordinator round (coordinator broadcasts its opinion);
+//	   the strongprefer messages from C arrive and are buffered
+//	E: the coordinator opinion arrives; if some value has ≥ 2nv/3
+//	   strongprefers, terminate with it; if every value has < nv/3,
+//	   adopt the coordinator's opinion
+//
+// Initialization (two rounds) doubles as the rotor-coordinator's init
+// and fixes nv: the node records every identifier heard during
+// initialization as a member, and thereafter discards messages from
+// non-members. A member that goes silent is "filled in" with the
+// node's own message of the corresponding kind from the previous round
+// (the substitution rule in the Algorithm 3 caption); this is what
+// lets nodes that already terminated go silent without stalling the
+// laggards, which finish at most one phase later (Lemma 8 + Lemma 10).
+package consensus
+
+import (
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/quorum"
+	"idonly/internal/sim"
+)
+
+// Input is the phase round-A broadcast input(x).
+type Input struct {
+	X float64
+}
+
+// Prefer is the phase round-B broadcast prefer(x).
+type Prefer struct {
+	X float64
+}
+
+// StrongPrefer is the phase round-C broadcast strongprefer(x).
+type StrongPrefer struct {
+	X float64
+}
+
+// PhaseRounds is the number of rounds per phase and InitRounds the
+// number of initialization rounds (shared with Algorithm 5; Theorem 6's
+// finality constant 5|S|/2 + 2 is PhaseRounds·|S|/2 + InitRounds).
+const (
+	PhaseRounds = 5
+	InitRounds  = 2
+)
+
+// Node is one correct Algorithm 3 participant.
+type Node struct {
+	id   ids.ID
+	xv   float64 // current opinion
+	opts Options
+
+	core    *rotor.Core
+	senders map[ids.ID]bool // init-phase senders; becomes the member set
+	members map[ids.ID]bool // frozen nv set (nil until frozen)
+	nv      int
+
+	// most recent message of each kind this node sent, for the
+	// substitution rule ("assume the silent member sent what I sent").
+	lastInput, lastPrefer, lastStrong          float64
+	hasLastInput, hasLastPrefer, hasLastStrong bool
+
+	strongTally *quorum.Tally[float64] // buffered from round D, judged in E
+	prevCoord   ids.ID                 // coordinator selected in this phase's round D
+
+	phase        int // 1-based phase counter
+	decided      bool
+	output       float64
+	decidedRound int
+	coordAdopted int // times the node adopted a coordinator opinion (for experiments)
+}
+
+// Options tunes the algorithm for the ablation experiments; the zero
+// value is the paper's Algorithm 3.
+type Options struct {
+	// NoSubstitution disables the silent-member substitution rule. With
+	// it off, members that stop sending (terminated or Byzantine-silent)
+	// make the 2nv/3 thresholds unreachable and the protocol livelocks —
+	// experiment E10 measures exactly that.
+	NoSubstitution bool
+}
+
+// New returns a consensus node with input x.
+func New(id ids.ID, x float64) *Node {
+	return NewWithOptions(id, x, Options{})
+}
+
+// NewWithOptions returns a consensus node with explicit options.
+func NewWithOptions(id ids.ID, x float64, opts Options) *Node {
+	return &Node{
+		id:          id,
+		xv:          x,
+		opts:        opts,
+		core:        rotor.NewCore(id),
+		senders:     make(map[ids.ID]bool),
+		strongTally: quorum.NewTally[float64](),
+	}
+}
+
+// ID implements sim.Process.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Decided implements sim.Process.
+func (n *Node) Decided() bool { return n.decided }
+
+// Output implements sim.Process.
+func (n *Node) Output() any { return n.output }
+
+// Value returns the decided value (valid once Decided).
+func (n *Node) Value() float64 { return n.output }
+
+// DecidedRound returns the round of termination (0 if still running).
+func (n *Node) DecidedRound() int { return n.decidedRound }
+
+// Phases returns the number of phases started.
+func (n *Node) Phases() int { return n.phase }
+
+// CoordinatorAdoptions returns how often this node switched to a
+// coordinator opinion — an observable for the E10 ablations.
+func (n *Node) CoordinatorAdoptions() int { return n.coordAdopted }
+
+// NV returns the frozen membership size (0 before initialization ends).
+func (n *Node) NV() int { return n.nv }
+
+// Step implements sim.Process.
+func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
+	inputs, prefers, strongs, opinions := n.absorb(inbox)
+
+	switch round {
+	case 1: // init round 1: rotor init broadcast
+		return []sim.Send{sim.BroadcastPayload(rotor.Init{})}
+	case 2: // init round 2: rotor echoes for every init received
+		var out []sim.Send
+		for _, p := range n.core.EchoInits() {
+			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
+		}
+		return out
+	}
+
+	if n.members == nil {
+		// Membership freezes at the start of round 3: everyone who sent
+		// a message during the two initialization rounds counts toward
+		// nv; everyone else is ignored forever after (Alg. 3 line 2).
+		n.members = n.senders
+		n.nv = len(n.members)
+	}
+
+	switch (round - InitRounds - 1) % PhaseRounds {
+	case 0: // A — broadcast input(xv)
+		n.phase++
+		n.lastInput, n.hasLastInput = n.xv, true
+		n.hasLastPrefer, n.hasLastStrong = false, false
+		return []sim.Send{sim.BroadcastPayload(Input{X: n.xv})}
+
+	case 1: // B — count inputs, maybe broadcast prefer
+		n.substitute(inputs, n.lastInput, n.hasLastInput)
+		if x, count, ok := best(inputs); ok && quorum.AtLeastTwoThirds(count, n.nv) {
+			n.lastPrefer, n.hasLastPrefer = x, true
+			return []sim.Send{sim.BroadcastPayload(Prefer{X: x})}
+		}
+		return nil
+
+	case 2: // C — count prefers, adopt, maybe broadcast strongprefer
+		n.substitute(prefers, n.lastPrefer, n.hasLastPrefer)
+		if x, count, ok := best(prefers); ok {
+			if quorum.AtLeastThird(count, n.nv) {
+				n.xv = x
+			}
+			if quorum.AtLeastTwoThirds(count, n.nv) {
+				n.lastStrong, n.hasLastStrong = x, true
+				return []sim.Send{sim.BroadcastPayload(StrongPrefer{X: x})}
+			}
+		}
+		return nil
+
+	case 3: // D — rotor round; strongprefers arrive here and are buffered
+		n.substitute(strongs, n.lastStrong, n.hasLastStrong)
+		n.strongTally = strongs
+		relays, sel := n.core.Advance(n.nv)
+		var out []sim.Send
+		for _, p := range relays {
+			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
+		}
+		if sel.HasCoord {
+			n.prevCoord = sel.Coord
+			if sel.SelfCoord {
+				out = append(out, sim.BroadcastPayload(rotor.Opinion{X: n.xv}))
+			}
+		} else {
+			n.prevCoord = 0
+		}
+		return out
+
+	default: // E — judge strongprefers, adopt coordinator or terminate
+		x, count, ok := best(n.strongTally)
+		if ok && quorum.AtLeastTwoThirds(count, n.nv) {
+			n.decided = true
+			n.output = x
+			n.decidedRound = round
+			return nil
+		}
+		if !ok || quorum.LessThanThird(count, n.nv) {
+			if n.prevCoord != 0 {
+				if c, got := opinions[n.prevCoord]; got {
+					n.xv = c
+					n.coordAdopted++
+				}
+			}
+		}
+		n.strongTally = quorum.NewTally[float64]()
+		return nil
+	}
+}
+
+// absorb classifies the inbox: membership/rotor bookkeeping plus
+// per-kind tallies of this round's consensus messages. Messages from
+// non-members are discarded once the membership is frozen.
+func (n *Node) absorb(inbox []sim.Message) (inputs, prefers, strongs *quorum.Tally[float64], opinions map[ids.ID]float64) {
+	inputs = quorum.NewTally[float64]()
+	prefers = quorum.NewTally[float64]()
+	strongs = quorum.NewTally[float64]()
+	opinions = make(map[ids.ID]float64)
+	for _, msg := range inbox {
+		if n.members == nil {
+			n.senders[msg.From] = true
+		} else if !n.members[msg.From] {
+			continue
+		}
+		switch p := msg.Payload.(type) {
+		case rotor.Init:
+			n.core.AbsorbInit(msg.From)
+		case rotor.Echo:
+			n.core.AbsorbEcho(msg.From, p.P)
+		case rotor.Opinion:
+			if _, dup := opinions[msg.From]; !dup {
+				opinions[msg.From] = p.X
+			}
+		case Input:
+			inputs.Add(p.X, msg.From)
+		case Prefer:
+			prefers.Add(p.X, msg.From)
+		case StrongPrefer:
+			strongs.Add(p.X, msg.From)
+		}
+	}
+	return inputs, prefers, strongs, opinions
+}
+
+// substitute applies the Algorithm 3 caption rule: every member from
+// whom no message of this kind arrived is assumed to have sent the same
+// message this node sent in the previous round (if it sent one).
+func (n *Node) substitute(tally *quorum.Tally[float64], own float64, hasOwn bool) {
+	if !hasOwn || n.opts.NoSubstitution {
+		return
+	}
+	for m := range n.members {
+		if !tally.HasSender(m) {
+			tally.Add(own, m)
+		}
+	}
+}
+
+// best returns the value with the highest vote count, ties broken
+// toward the smaller value for determinism.
+func best(t *quorum.Tally[float64]) (x float64, count int, ok bool) {
+	return t.BestFunc(func(a, b float64) bool { return a < b })
+}

@@ -1,0 +1,568 @@
+// Package parallel implements Algorithm 5 of the paper: EarlyConsensus
+// and the ParallelConsensus construction on top of it.
+//
+// Parallel consensus agrees on a *set* of (pair id, opinion) pairs when
+// different correct nodes may start from different — possibly missing —
+// input pairs. Each pair id runs its own EarlyConsensus, a variant of
+// Algorithm 3 in which unaware nodes are pulled into an instance by the
+// first message they see for it, and missing opinions are filled with
+// the distinguished value ⊥ ("Bot"):
+//
+//   - a node that first hears an instance through a message of type m
+//     substitutes m(⊥) for every member that sent no type-m message;
+//   - a node already participating substitutes its *own* most recently
+//     sent message of the counted type for silent members;
+//   - messages for instances first heard after phase 1 are discarded;
+//   - explicit id:nopreference / id:nostrongpreference messages let
+//     participating nodes distinguish "aware but below threshold" from
+//     "never heard of it" (no substitution happens for their senders);
+//   - terminated instances output (id, x) only when x ≠ ⊥.
+//
+// The guarantees (Theorem 5) are: validity — a pair input at every
+// correct node is output by all; agreement — any pair output by one
+// correct node is output by all; termination in O(f) rounds; and pairs
+// nobody input are never output (the ⊥ cascade).
+//
+// A Machine is one node's whole ParallelConsensus execution; it is
+// deliberately decoupled from sim.Process so the dynamic total-order
+// protocol (Algorithm 6) can run many machines side by side, one per
+// round-tagged session. Node adapts a Machine to sim.Process for
+// standalone use.
+package parallel
+
+import (
+	"sort"
+
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/quorum"
+	"idonly/internal/sim"
+)
+
+// PairID identifies an input pair. The dynamic total-order protocol
+// uses the id of the node that witnessed the event.
+type PairID uint64
+
+// Val is an opinion: either a string value or the distinguished ⊥.
+type Val struct {
+	S   string
+	Bot bool
+}
+
+// Bot is the missing-opinion value ⊥.
+var Bot = Val{Bot: true}
+
+// V wraps a string as a (non-⊥) opinion.
+func V(s string) Val { return Val{S: s} }
+
+// Message payloads of EarlyConsensus. They mirror Algorithm 3's with a
+// pair-id tag plus the two explicit "no preference" markers.
+type (
+	// Input is id:input(x), round A.
+	Input struct {
+		ID PairID
+		X  Val
+	}
+	// Prefer is id:prefer(x), round B.
+	Prefer struct {
+		ID PairID
+		X  Val
+	}
+	// NoPref is id:nopreference, round B.
+	NoPref struct {
+		ID PairID
+	}
+	// StrongPrefer is id:strongprefer(x), round C.
+	StrongPrefer struct {
+		ID PairID
+		X  Val
+	}
+	// NoStrongPref is id:nostrongpreference, round C.
+	NoStrongPref struct {
+		ID PairID
+	}
+	// Opinion is the coordinator's per-instance opinion, round D.
+	Opinion struct {
+		ID PairID
+		X  Val
+	}
+)
+
+// kind indexes the three substitutable message types M of the paper.
+type kind int
+
+const (
+	kindInput kind = iota
+	kindPrefer
+	kindStrong
+	numKinds
+)
+
+// ownSent records what this node most recently sent of one kind.
+type ownSent struct {
+	mode int // 0 = nothing ever, 1 = value, 2 = explicit no-preference marker
+	val  Val
+}
+
+const (
+	sentNothing = 0
+	sentValue   = 1
+	sentMarker  = 2
+)
+
+// instance is the per-pair EarlyConsensus state.
+type instance struct {
+	id           PairID
+	xv           Val
+	hasInput     bool
+	firstSeen    [numKinds]int // machine round of first reception per type (0 = never)
+	own          [numKinds]ownSent
+	strong       *quorum.Tally[Val] // buffered from round D, judged in round E
+	decided      bool
+	output       Val
+	decidedRound int
+}
+
+// Machine is one node's ParallelConsensus execution. Rounds are
+// machine-relative, starting at 1; the caller must invoke Step exactly
+// once per round with the messages addressed to this machine.
+type Machine struct {
+	self    ids.ID
+	filter  map[ids.ID]bool // optional admission set ("with respect to S"); nil = open
+	core    *rotor.Core
+	senders map[ids.ID]bool
+	members map[ids.ID]bool
+	nv      int
+
+	insts     map[PairID]*instance
+	order     []PairID // deterministic iteration order (sorted, maintained on insert)
+	prevCoord ids.ID
+	round     int
+}
+
+// NewMachine returns a machine with the given input pairs. members, if
+// non-nil, restricts the execution to the given identifier set (the
+// dynamic protocol's "with respect to S": messages from other nodes are
+// discarded and nv is counted within the set).
+func NewMachine(self ids.ID, inputs map[PairID]Val, members []ids.ID) *Machine {
+	m := &Machine{
+		self:    self,
+		core:    rotor.NewCore(self),
+		senders: make(map[ids.ID]bool),
+		insts:   make(map[PairID]*instance),
+	}
+	if members != nil {
+		m.filter = make(map[ids.ID]bool, len(members))
+		for _, id := range members {
+			m.filter[id] = true
+		}
+	}
+	for id, x := range inputs {
+		if x.Bot {
+			continue // the rules only broadcast non-⊥ inputs
+		}
+		m.ensure(id).xv = x
+		m.insts[id].hasInput = true
+	}
+	return m
+}
+
+// Round returns the machine-relative round of the last Step.
+func (m *Machine) Round() int { return m.round }
+
+// Done reports whether every known instance has terminated. A machine
+// that knows no instances is vacuously done; the caller decides how
+// long to keep listening (the dynamic protocol uses the finality bound,
+// the standalone Node waits out the first phase).
+func (m *Machine) Done() bool {
+	for _, inst := range m.insts {
+		if !inst.decided {
+			return false
+		}
+	}
+	return true
+}
+
+// Outputs returns the decided (id, x) pairs with x ≠ ⊥.
+func (m *Machine) Outputs() map[PairID]Val {
+	out := make(map[PairID]Val)
+	for id, inst := range m.insts {
+		if inst.decided && !inst.output.Bot {
+			out[id] = inst.output
+		}
+	}
+	return out
+}
+
+// OutputRounds returns, for each output pair, the machine round in
+// which it was decided.
+func (m *Machine) OutputRounds() map[PairID]int {
+	out := make(map[PairID]int)
+	for id, inst := range m.insts {
+		if inst.decided && !inst.output.Bot {
+			out[id] = inst.decidedRound
+		}
+	}
+	return out
+}
+
+// NV exposes the frozen membership size.
+func (m *Machine) NV() int { return m.nv }
+
+func (m *Machine) ensure(id PairID) *instance {
+	inst := m.insts[id]
+	if inst == nil {
+		inst = &instance{id: id, xv: Bot, strong: quorum.NewTally[Val]()}
+		m.insts[id] = inst
+		i := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+		m.order = append(m.order, 0)
+		copy(m.order[i+1:], m.order[i:])
+		m.order[i] = id
+	}
+	return inst
+}
+
+// phasePos returns the position within the 5-round phase for a
+// machine round past initialization: 0=A .. 4=E.
+func phasePos(round int) int {
+	return (round - consensus.InitRounds - 1) % consensus.PhaseRounds
+}
+
+// phaseNum returns the 1-based phase number for a post-init round.
+func phaseNum(round int) int {
+	return (round-consensus.InitRounds-1)/consensus.PhaseRounds + 1
+}
+
+// Step advances the machine one round and returns the payloads to
+// broadcast (the caller wraps them for transport and broadcasts).
+func (m *Machine) Step(inbox []sim.Message) []any {
+	m.round++
+	round := m.round
+
+	// Classify this round's arrivals.
+	type arrivals struct {
+		inputs  *quorum.Tally[Val]
+		prefers *quorum.Tally[Val]
+		strongs *quorum.Tally[Val]
+		// responders per kind: members that sent *any* message of the
+		// kind, including the explicit no-preference markers; these are
+		// exempt from substitution.
+		responded [numKinds]map[ids.ID]bool
+	}
+	byInst := make(map[PairID]*arrivals)
+	get := func(id PairID) *arrivals {
+		a := byInst[id]
+		if a == nil {
+			a = &arrivals{
+				inputs:  quorum.NewTally[Val](),
+				prefers: quorum.NewTally[Val](),
+				strongs: quorum.NewTally[Val](),
+			}
+			for k := range a.responded {
+				a.responded[k] = make(map[ids.ID]bool)
+			}
+			byInst[id] = a
+		}
+		return a
+	}
+	opinions := make(map[PairID]map[ids.ID]Val)
+
+	for _, msg := range inbox {
+		if m.filter != nil && !m.filter[msg.From] {
+			continue // outside the recorded S: discarded (Alg. 6 rule)
+		}
+		if m.members == nil {
+			m.senders[msg.From] = true
+		} else if !m.members[msg.From] {
+			continue // did not count toward nv: discarded (Alg. 3 rule)
+		}
+		switch p := msg.Payload.(type) {
+		case rotor.Init:
+			m.core.AbsorbInit(msg.From)
+		case rotor.Echo:
+			m.core.AbsorbEcho(msg.From, p.P)
+		case Input:
+			if inst := m.admit(p.ID, kindInput, round); inst != nil {
+				a := get(p.ID)
+				a.inputs.Add(p.X, msg.From)
+				a.responded[kindInput][msg.From] = true
+			}
+		case Prefer:
+			if inst := m.admit(p.ID, kindPrefer, round); inst != nil {
+				a := get(p.ID)
+				a.prefers.Add(p.X, msg.From)
+				a.responded[kindPrefer][msg.From] = true
+			}
+		case NoPref:
+			if inst := m.admitKnownOnly(p.ID, kindPrefer, round); inst != nil {
+				get(p.ID).responded[kindPrefer][msg.From] = true
+			}
+		case StrongPrefer:
+			if inst := m.admit(p.ID, kindStrong, round); inst != nil {
+				a := get(p.ID)
+				a.strongs.Add(p.X, msg.From)
+				a.responded[kindStrong][msg.From] = true
+			}
+		case NoStrongPref:
+			if inst := m.admitKnownOnly(p.ID, kindStrong, round); inst != nil {
+				get(p.ID).responded[kindStrong][msg.From] = true
+			}
+		case Opinion:
+			set := opinions[p.ID]
+			if set == nil {
+				set = make(map[ids.ID]Val)
+				opinions[p.ID] = set
+			}
+			if _, dup := set[msg.From]; !dup {
+				set[msg.From] = p.X
+			}
+		}
+	}
+
+	switch {
+	case round == 1: // init round 1: rotor init
+		return []any{rotor.Init{}}
+	case round == 2: // init round 2: rotor echoes
+		var out []any
+		for _, p := range m.core.EchoInits() {
+			out = append(out, rotor.Echo{P: p})
+		}
+		return out
+	}
+
+	if m.members == nil {
+		m.members = m.senders
+		m.nv = len(m.members)
+	}
+
+	var out []any
+	switch phasePos(round) {
+	case 0: // A — broadcast id:input(xv) for pairs with xv ≠ ⊥
+		for _, id := range m.order {
+			inst := m.insts[id]
+			if inst.decided {
+				continue
+			}
+			if !inst.xv.Bot {
+				inst.own[kindInput] = ownSent{mode: sentValue, val: inst.xv}
+				out = append(out, Input{ID: id, X: inst.xv})
+			}
+			// A node whose opinion is ⊥ stays silent; its input-kind
+			// "most recent" message is unchanged.
+		}
+
+	case 1: // B — count inputs; prefer or nopreference
+		for _, id := range m.order {
+			inst := m.insts[id]
+			if inst.decided {
+				continue
+			}
+			a := get(id)
+			m.substitute(inst, kindInput, round, a.inputs, a.responded[kindInput])
+			if x, count, ok := bestVal(a.inputs); ok && quorum.AtLeastTwoThirds(count, m.nv) {
+				inst.own[kindPrefer] = ownSent{mode: sentValue, val: x}
+				out = append(out, Prefer{ID: id, X: x})
+			} else {
+				inst.own[kindPrefer] = ownSent{mode: sentMarker}
+				out = append(out, NoPref{ID: id})
+			}
+		}
+
+	case 2: // C — count prefers; adopt; strongprefer or nostrongpreference
+		for _, id := range m.order {
+			inst := m.insts[id]
+			if inst.decided {
+				continue
+			}
+			a := get(id)
+			m.substitute(inst, kindPrefer, round, a.prefers, a.responded[kindPrefer])
+			x, count, ok := bestVal(a.prefers)
+			if ok && quorum.AtLeastThird(count, m.nv) {
+				inst.xv = x
+			}
+			if ok && quorum.AtLeastTwoThirds(count, m.nv) {
+				inst.own[kindStrong] = ownSent{mode: sentValue, val: x}
+				out = append(out, StrongPrefer{ID: id, X: x})
+			} else {
+				inst.own[kindStrong] = ownSent{mode: sentMarker}
+				out = append(out, NoStrongPref{ID: id})
+			}
+		}
+
+	case 3: // D — buffer strongprefers; rotor round; coordinator opinions
+		for _, id := range m.order {
+			inst := m.insts[id]
+			if inst.decided {
+				continue
+			}
+			a := get(id)
+			m.substitute(inst, kindStrong, round, a.strongs, a.responded[kindStrong])
+			inst.strong = a.strongs
+		}
+		relays, sel := m.core.Advance(m.nv)
+		for _, p := range relays {
+			out = append(out, rotor.Echo{P: p})
+		}
+		if sel.HasCoord {
+			m.prevCoord = sel.Coord
+			if sel.SelfCoord {
+				for _, id := range m.order {
+					if inst := m.insts[id]; !inst.decided {
+						out = append(out, Opinion{ID: id, X: inst.xv})
+					}
+				}
+			}
+		} else {
+			m.prevCoord = 0
+		}
+
+	case 4: // E — judge strongprefers; adopt coordinator; terminate
+		for _, id := range m.order {
+			inst := m.insts[id]
+			if inst.decided {
+				continue
+			}
+			x, count, ok := bestVal(inst.strong)
+			if ok && quorum.AtLeastTwoThirds(count, m.nv) {
+				inst.decided = true
+				inst.output = x
+				inst.decidedRound = round
+				continue
+			}
+			if !ok || quorum.LessThanThird(count, m.nv) {
+				if m.prevCoord != 0 {
+					if c, got := opinions[id][m.prevCoord]; got {
+						inst.xv = c
+					}
+				}
+			}
+			inst.strong = quorum.NewTally[Val]()
+		}
+	}
+	return out
+}
+
+// admit locates the instance for a message of the given kind arriving
+// this round, creating it when discovery is legal: only during phase 1
+// and only at the type's proper arrival round (inputs in round B,
+// prefers in round C, strongprefers in round D; the paper counts the
+// strongprefer processing in round E — the messages physically arrive
+// one round earlier and are buffered). Messages for unknown instances
+// outside those windows are discarded, as are all first contacts in
+// phase ≥ 2. It returns nil when the message must be dropped.
+func (m *Machine) admit(id PairID, k kind, round int) *instance {
+	inst, known := m.insts[id]
+	if !known {
+		if round <= consensus.InitRounds || phaseNum(round) != 1 {
+			return nil
+		}
+		pos := phasePos(round)
+		legal := (k == kindInput && pos == 1) ||
+			(k == kindPrefer && pos == 2) ||
+			(k == kindStrong && pos == 3)
+		if !legal {
+			return nil
+		}
+		inst = m.ensure(id)
+	}
+	if round > consensus.InitRounds && inst.firstSeen[k] == 0 {
+		inst.firstSeen[k] = round
+	}
+	return inst
+}
+
+// admitKnownOnly is admit for the no-preference markers, which carry no
+// value and never create an instance.
+func (m *Machine) admitKnownOnly(id PairID, k kind, round int) *instance {
+	inst, known := m.insts[id]
+	if !known {
+		return nil
+	}
+	if round > consensus.InitRounds && inst.firstSeen[k] == 0 {
+		inst.firstSeen[k] = round
+	}
+	return inst
+}
+
+// substitute fills in votes for members that sent no message of the
+// counted kind this round, per the Algorithm 5 caption:
+//
+//   - if this round is the node's first reception of this type for the
+//     instance (it is just joining through these messages, or everyone
+//     is counting the type for the first time), missing members count
+//     as m(⊥);
+//   - otherwise each missing member counts as this node's own most
+//     recently sent message of the kind (a no-preference marker
+//     contributes no value).
+func (m *Machine) substitute(inst *instance, k kind, round int, tally *quorum.Tally[Val], responded map[ids.ID]bool) {
+	firstTime := inst.firstSeen[k] == 0 || inst.firstSeen[k] == round
+	for member := range m.members {
+		if responded[member] {
+			continue
+		}
+		if firstTime {
+			tally.Add(Bot, member)
+			continue
+		}
+		switch own := inst.own[k]; own.mode {
+		case sentValue:
+			tally.Add(own.val, member)
+		case sentMarker, sentNothing:
+			// contributes nothing to any value's count
+		}
+	}
+}
+
+// bestVal returns the opinion with the highest vote count,
+// deterministically tie-broken (⊥ last, then lexicographic).
+func bestVal(t *quorum.Tally[Val]) (x Val, count int, ok bool) {
+	return t.BestFunc(func(a, b Val) bool {
+		if a.Bot != b.Bot {
+			return !a.Bot
+		}
+		return a.S < b.S
+	})
+}
+
+// Node adapts a Machine to sim.Process for static-network use.
+type Node struct {
+	machine *Machine
+	decided bool
+}
+
+// NewNode returns a standalone parallel-consensus process with the
+// given input pairs.
+func NewNode(id ids.ID, inputs map[PairID]Val) *Node {
+	return &Node{machine: NewMachine(id, inputs, nil)}
+}
+
+// ID implements sim.Process.
+func (n *Node) ID() ids.ID { return n.machine.self }
+
+// Decided implements sim.Process: all known instances decided and at
+// least one full phase has elapsed (so a node with no inputs of its own
+// has listened long enough to join anything a correct node started).
+func (n *Node) Decided() bool { return n.decided }
+
+// Output implements sim.Process.
+func (n *Node) Output() any { return n.machine.Outputs() }
+
+// Outputs returns the decided pairs.
+func (n *Node) Outputs() map[PairID]Val { return n.machine.Outputs() }
+
+// Machine exposes the underlying machine (experiments peek at NV etc.).
+func (n *Node) Machine() *Machine { return n.machine }
+
+// Step implements sim.Process.
+func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
+	payloads := n.machine.Step(inbox)
+	if n.machine.round >= consensus.InitRounds+consensus.PhaseRounds && n.machine.Done() {
+		n.decided = true
+	}
+	var out []sim.Send
+	for _, p := range payloads {
+		out = append(out, sim.BroadcastPayload(p))
+	}
+	return out
+}

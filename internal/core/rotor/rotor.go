@@ -1,0 +1,287 @@
+// Package rotor implements Algorithm 2 of the paper: the
+// rotor-coordinator, which cycles through at least f+1 distinct
+// coordinators without knowing f and with non-consecutive identifiers.
+//
+// This is the paper's key technical novelty (§III): classical
+// algorithms rotate through nodes 1..f+1, which requires both f and
+// consecutive ids. Here every node maintains a candidate set Cv,
+// updated with reliable-broadcast-style echo thresholds over nv (the
+// number of nodes heard from), and selects Cv[r mod |Cv|] in round r.
+// Lemma 7 shows that before any correct node re-selects a coordinator
+// (the termination condition), there was a "good round" in which every
+// correct node selected the same correct coordinator.
+//
+// The package exposes two layers:
+//
+//   - Core: the Cv/Sv state machine (echo absorption, candidate
+//     admission, per-round selection). Consensus (Algorithm 3) and
+//     parallel consensus (Algorithm 5) embed a Core and drive one rotor
+//     round per phase.
+//   - Node: the standalone Algorithm 2 process, which additionally
+//     broadcasts and accepts coordinator opinions and terminates on
+//     re-selection.
+package rotor
+
+import (
+	"sort"
+
+	"idonly/internal/ids"
+	"idonly/internal/quorum"
+	"idonly/internal/sim"
+)
+
+// Init is the round-1 broadcast announcing willingness to coordinate.
+type Init struct{}
+
+// Echo is the echo(p) message vouching that p announced itself.
+type Echo struct {
+	P ids.ID
+}
+
+// Opinion carries the coordinator's current opinion (standalone Node
+// use; the consensus algorithms define their own opinion messages).
+type Opinion struct {
+	X float64
+}
+
+// Core is the candidate/selection state machine shared by every
+// protocol that embeds a rotor-coordinator.
+type Core struct {
+	self     ids.ID
+	inits    map[ids.ID]bool           // inits absorbed (round-1 senders)
+	echoes   *quorum.Witnesses[ids.ID] // echo(p) distinct-sender counts
+	cv       []ids.ID                  // candidate coordinators, ascending
+	inCv     map[ids.ID]bool
+	sv       map[ids.ID]bool // selected coordinators
+	selected []ids.ID        // selection sequence (one per Advance)
+	r        int             // next selection round index (starts at 0)
+}
+
+// NewCore returns an empty rotor core for the given node.
+func NewCore(self ids.ID) *Core {
+	return &Core{
+		self:   self,
+		inits:  make(map[ids.ID]bool),
+		echoes: quorum.NewWitnesses[ids.ID](),
+		inCv:   make(map[ids.ID]bool),
+		sv:     make(map[ids.ID]bool),
+	}
+}
+
+// AbsorbInit records an init broadcast from p.
+func (c *Core) AbsorbInit(p ids.ID) { c.inits[p] = true }
+
+// AbsorbEcho records an echo(p) vouched by sender from.
+func (c *Core) AbsorbEcho(from, p ids.ID) { c.echoes.Add(p, from) }
+
+// EchoInits returns the candidate ids to echo in round 2 — one echo(p)
+// for every init received — in ascending order.
+func (c *Core) EchoInits() []ids.ID {
+	out := make([]ids.ID, 0, len(c.inits))
+	for p := range c.inits {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Selection is the outcome of one rotor round.
+type Selection struct {
+	Coord      ids.ID // selected coordinator (valid when HasCoord)
+	HasCoord   bool   // false only while Cv is still empty
+	Reselected bool   // the Algorithm 2 termination condition (p ∈ Sv)
+	SelfCoord  bool   // this node is the coordinator of the round
+}
+
+// Advance executes the candidate-set maintenance and coordinator
+// selection of one rotor round (Algorithm 2 lines 6–24), given the
+// current nv. It returns the echo(p) relays to broadcast this round and
+// the selection outcome. When sel.Reselected is true the standalone
+// algorithm terminates; embedded uses keep cycling (their host protocol
+// has its own termination) and the selection sequence simply wraps
+// around Cv.
+func (c *Core) Advance(nv int) (relays []ids.ID, sel Selection) {
+	// Lines 8–15: move candidates through the nv/3 (relay) and 2nv/3
+	// (admit) thresholds, in ascending id order for determinism. The
+	// relay check precedes admission within a round, as in the
+	// pseudocode, so a node may both relay echo(p) and admit p in the
+	// same round.
+	keys := c.echoes.Keys()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		count := c.echoes.Count(p)
+		if quorum.AtLeastThird(count, nv) && !c.inCv[p] {
+			relays = append(relays, p)
+		}
+		if quorum.AtLeastTwoThirds(count, nv) && !c.inCv[p] {
+			c.insertCandidate(p)
+		}
+	}
+
+	// Line 16: select the next coordinator.
+	if len(c.cv) == 0 {
+		// Cannot happen for n > 3f with all correct nodes initialized
+		// (Lemma 1 puts every correct id in Cv before the first
+		// selection); reachable only in resiliency-violation
+		// experiments, where the round simply has no coordinator.
+		c.r++
+		return relays, Selection{}
+	}
+	p := c.cv[c.r%len(c.cv)]
+	sel = Selection{Coord: p, HasCoord: true, SelfCoord: p == c.self}
+	if c.sv[p] {
+		sel.Reselected = true
+	} else {
+		c.sv[p] = true
+	}
+	c.selected = append(c.selected, p)
+	c.r++
+	return relays, sel
+}
+
+// Candidates returns a copy of Cv in ascending order.
+func (c *Core) Candidates() []ids.ID {
+	out := make([]ids.ID, len(c.cv))
+	copy(out, c.cv)
+	return out
+}
+
+// Selected returns the selection sequence so far.
+func (c *Core) Selected() []ids.ID {
+	out := make([]ids.ID, len(c.selected))
+	copy(out, c.selected)
+	return out
+}
+
+func (c *Core) insertCandidate(p ids.ID) {
+	i := sort.Search(len(c.cv), func(i int) bool { return c.cv[i] >= p })
+	c.cv = append(c.cv, 0)
+	copy(c.cv[i+1:], c.cv[i:])
+	c.cv[i] = p
+	c.inCv[p] = true
+}
+
+// AcceptedOpinion records one accepted coordinator opinion: in round
+// Round the node accepted opinion X from coordinator Coord (who was
+// selected in the previous round).
+type AcceptedOpinion struct {
+	Round int
+	Coord ids.ID
+	X     float64
+}
+
+// Node is the standalone Algorithm 2 process: it selects coordinators,
+// broadcasts its own opinion when selected, accepts the previous
+// coordinator's opinion, and terminates upon re-selecting a
+// coordinator.
+type Node struct {
+	id        ids.ID
+	opinion   float64
+	core      *Core
+	senders   map[ids.ID]bool // nv bookkeeping
+	prevCoord ids.ID          // coordinator selected in the previous round (0 = none)
+	accepted  []AcceptedOpinion
+	done      bool
+	doneRound int
+}
+
+// New returns a rotor-coordinator node whose own opinion is x.
+func New(id ids.ID, x float64) *Node {
+	return &Node{
+		id:      id,
+		opinion: x,
+		core:    NewCore(id),
+		senders: make(map[ids.ID]bool),
+	}
+}
+
+// ID implements sim.Process.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Decided implements sim.Process.
+func (n *Node) Decided() bool { return n.done }
+
+// Output implements sim.Process; it returns the accepted opinions.
+func (n *Node) Output() any { return n.Accepted() }
+
+// Accepted returns the coordinator opinions accepted so far.
+func (n *Node) Accepted() []AcceptedOpinion {
+	out := make([]AcceptedOpinion, len(n.accepted))
+	copy(out, n.accepted)
+	return out
+}
+
+// DoneRound returns the round in which the node terminated (0 if not).
+func (n *Node) DoneRound() int { return n.doneRound }
+
+// Selected exposes the selection sequence for the experiments.
+func (n *Node) Selected() []ids.ID { return n.core.Selected() }
+
+// Candidates exposes Cv for the experiments.
+func (n *Node) Candidates() []ids.ID { return n.core.Candidates() }
+
+// Step implements sim.Process, one Algorithm 2 round per call.
+func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
+	// Absorb traffic: every sender counts toward nv; echoes and inits
+	// feed the core; opinions are matched against the coordinator
+	// selected in the previous round.
+	opinions := make(map[ids.ID]float64)
+	for _, msg := range inbox {
+		n.senders[msg.From] = true
+		switch p := msg.Payload.(type) {
+		case Init:
+			n.core.AbsorbInit(msg.From)
+		case Echo:
+			n.core.AbsorbEcho(msg.From, p.P)
+		case Opinion:
+			if _, dup := opinions[msg.From]; !dup {
+				opinions[msg.From] = p.X
+			}
+		}
+	}
+
+	switch round {
+	case 1: // Line 3: broadcast init.
+		return []sim.Send{sim.BroadcastPayload(Init{})}
+	case 2: // Line 4: broadcast echo(p) for every init received.
+		var out []sim.Send
+		for _, p := range n.core.EchoInits() {
+			out = append(out, sim.BroadcastPayload(Echo{P: p}))
+		}
+		return out
+	}
+
+	// Lines 5–30, one iteration per round.
+	nv := len(n.senders)
+	relays, sel := n.core.Advance(nv)
+
+	// Lines 17–20: accept the opinion of the previously selected
+	// coordinator if it arrived this round.
+	if n.prevCoord != 0 {
+		if x, ok := opinions[n.prevCoord]; ok {
+			n.accepted = append(n.accepted, AcceptedOpinion{Round: round, Coord: n.prevCoord, X: x})
+		}
+	}
+
+	// Lines 21–23: terminate on re-selection, without broadcasting.
+	if sel.Reselected {
+		n.done = true
+		n.doneRound = round
+		return nil
+	}
+
+	var out []sim.Send
+	for _, p := range relays {
+		out = append(out, sim.BroadcastPayload(Echo{P: p}))
+	}
+	if sel.HasCoord {
+		n.prevCoord = sel.Coord
+		if sel.SelfCoord {
+			// Lines 25–28: the coordinator broadcasts its opinion.
+			out = append(out, sim.BroadcastPayload(Opinion{X: n.opinion}))
+		}
+	} else {
+		n.prevCoord = 0
+	}
+	return out
+}

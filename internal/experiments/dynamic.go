@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"idonly/internal/adversary"
+	"idonly/internal/core/dynamic"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// E9 exercises the dynamic total-ordering protocol (Algorithm 6,
+// Theorem 6): chain-prefix and chain-growth under joins, leaves and an
+// event-equivocating Byzantine node, and the finality lag against the
+// 5|S|/2 + 2 bound.
+func E9(seed uint64) []Table {
+	t := Table{
+		ID:    "E9",
+		Title: "dynamic total ordering: churn, prefix violations, finality lag",
+		Claim: "chain-prefix and chain-growth hold; round r final after 5|S|/2+2 rounds (Theorem 6)",
+		Columns: []string{"scenario", "rounds", "chain len", "prefix violations",
+			"finality lag", "bound ⌊5|S|/2⌋+3", "harvest gaps"},
+	}
+
+	// scenario 1: static founders, events every round
+	{
+		nodes, lag := dynamicRun(seed, 4, 0, 60, false, false, nil)
+		t.Row("static n=4, f=0", 60, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*4/2+3, harvestGaps(nodes))
+	}
+	// scenario 2: Byzantine event equivocator
+	{
+		rng := ids.NewRand(seed)
+		all := ids.Sparse(rng, 7)
+		adv := adversary.DynEquivEvent{All: all, Every: 2}
+		nodes, lag := dynamicRunWith(seed, all, 2, 80, false, false, adv)
+		t.Row("n=7, f=2 equivocating events", 80, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*7/2+3, harvestGaps(nodes))
+	}
+	// scenario 3: join at round 10
+	{
+		nodes, lag := dynamicRun(seed, 4, 0, 70, true, false, nil)
+		t.Row("n=4 + join@10", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2+3, harvestGaps(nodes))
+	}
+	// scenario 4: leave at round 12
+	{
+		nodes, lag := dynamicRun(seed, 5, 0, 70, false, true, nil)
+		t.Row("n=5 - leave@12", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2+3, harvestGaps(nodes))
+	}
+	return []Table{t}
+}
+
+func dynamicRun(seed uint64, n, f, rounds int, withJoin, withLeave bool, adv sim.Adversary) ([]*dynamic.Node, int) {
+	rng := ids.NewRand(seed)
+	all := ids.Sparse(rng, n)
+	return dynamicRunWith(seed, all, f, rounds, withJoin, withLeave, adv)
+}
+
+func dynamicRunWith(seed uint64, all []ids.ID, f, rounds int, withJoin, withLeave bool, adv sim.Adversary) ([]*dynamic.Node, int) {
+	n := len(all)
+	correct := all[:n-f]
+	faulty := all[n-f:]
+	var nodes []*dynamic.Node
+	var procs []sim.Process
+	for i, id := range correct {
+		witness := make(map[int][]string)
+		for r := 1; r <= rounds; r++ {
+			if r%len(correct) == i {
+				witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
+			}
+		}
+		leaveAt := 0
+		if withLeave && i == len(correct)-1 {
+			leaveAt = 12
+		}
+		nd := dynamic.New(dynamic.Config{ID: id, Founders: all, Witness: witness, LeaveAt: leaveAt})
+		nodes = append(nodes, nd)
+		procs = append(procs, nd)
+	}
+	run := sim.NewRunner(sim.Config{MaxRounds: rounds}, procs, faulty, adv)
+	if withJoin {
+		joiner := dynamic.New(dynamic.Config{ID: ids.Sparse(ids.NewRand(seed+999), 1)[0]})
+		run.ScheduleJoin(10, joiner)
+		nodes = append(nodes, joiner)
+	}
+	run.Run(nil)
+	lag := nodes[0].Round() - nodes[0].FinalRound()
+	return nodes, lag
+}
+
+// prefixViolations counts node pairs whose chains are not prefixes of
+// one another (restricted to the sessions both cover, so joiners
+// compare fairly).
+func prefixViolations(nodes []*dynamic.Node) int {
+	violations := 0
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i].Chain(), nodes[j].Chain()
+			// align on the later starting session
+			start := 0
+			if len(a) > 0 && len(b) > 0 {
+				s := a[0].Session
+				if b[0].Session > s {
+					s = b[0].Session
+				}
+				start = s
+			}
+			var fa, fb []dynamic.Event
+			for _, e := range a {
+				if e.Session >= start {
+					fa = append(fa, e)
+				}
+			}
+			for _, e := range b {
+				if e.Session >= start {
+					fb = append(fb, e)
+				}
+			}
+			m := len(fa)
+			if len(fb) < m {
+				m = len(fb)
+			}
+			for k := 0; k < m; k++ {
+				if fa[k] != fb[k] {
+					violations++
+					break
+				}
+			}
+		}
+	}
+	return violations
+}
+
+func harvestGaps(nodes []*dynamic.Node) int {
+	gaps := 0
+	for _, nd := range nodes {
+		if nd.HarvestGap() {
+			gaps++
+		}
+	}
+	return gaps
+}

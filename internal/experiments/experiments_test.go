@@ -1,0 +1,168 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"idonly/internal/experiments"
+)
+
+// TestAllExperimentsRun executes every experiment end to end (small,
+// seeded) and checks structural sanity: tables render, every row has
+// the full column count, and nothing panics. Individual experiments'
+// semantic assertions follow below.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables := exp.Run(1)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", exp.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s: row %v vs columns %v", exp.ID, row, tb.Columns)
+					}
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Fatalf("%s: rendering lost the id", exp.ID)
+				}
+			}
+		})
+	}
+}
+
+func cell(t *testing.T, tb experiments.Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Columns) {
+		t.Fatalf("cell (%d,%d) out of range in %s", row, col, tb.ID)
+	}
+	return tb.Rows[row][col]
+}
+
+func cellInt(t *testing.T, tb experiments.Table, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(cell(t, tb, row, col))
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s is not an int: %q", row, col, tb.ID, cell(t, tb, row, col))
+	}
+	return v
+}
+
+func TestE1AcceptanceRoundsAreThree(t *testing.T) {
+	tb := experiments.E1(1)[0]
+	for r := range tb.Rows {
+		if cellInt(t, tb, r, 2) != 3 || cellInt(t, tb, r, 3) != 3 {
+			t.Fatalf("row %d: acceptance rounds %s / %s, want 3 / 3",
+				r, cell(t, tb, r, 2), cell(t, tb, r, 3))
+		}
+	}
+}
+
+func TestE2BoundaryIsSharp(t *testing.T) {
+	tb := experiments.E2(1)[0]
+	for r := range tb.Rows {
+		seeds := cellInt(t, tb, r, 3)
+		if got := cellInt(t, tb, r, 1); got != 0 {
+			t.Fatalf("f=%s: %d violations at n=3f+1, want 0", cell(t, tb, r, 0), got)
+		}
+		if got := cellInt(t, tb, r, 2); got != seeds {
+			t.Fatalf("f=%s: %d violations at n=3f, want all %d", cell(t, tb, r, 0), got, seeds)
+		}
+	}
+}
+
+func TestE3TerminationWithinBoundAndAlwaysGood(t *testing.T) {
+	tb := experiments.E3(1)[0]
+	for r := range tb.Rows {
+		if cellInt(t, tb, r, 2) > cellInt(t, tb, r, 3) {
+			t.Fatalf("row %d: termination %s exceeds bound %s", r, cell(t, tb, r, 2), cell(t, tb, r, 3))
+		}
+		if cellInt(t, tb, r, 4) != cellInt(t, tb, r, 5) {
+			t.Fatalf("row %d: good rounds %s of %s", r, cell(t, tb, r, 4), cell(t, tb, r, 5))
+		}
+	}
+}
+
+func TestE4UnanimousIsOnePhase(t *testing.T) {
+	tb := experiments.E4(1)[0]
+	for r := range tb.Rows {
+		if cellInt(t, tb, r, 2) != 7 {
+			t.Fatalf("row %d: unanimous rounds %s, want 7 (2 init + 5 phase)", r, cell(t, tb, r, 2))
+		}
+	}
+}
+
+func TestE10SubstitutionAblationLivelocks(t *testing.T) {
+	tables := experiments.E10(1)
+	a := tables[0]
+	// row 0 = with substitution: all correct decided
+	if cellInt(t, a, 0, 1) != cellInt(t, a, 0, 2) {
+		t.Fatalf("with substitution: %s of %s decided", cell(t, a, 0, 1), cell(t, a, 0, 2))
+	}
+	// row 1 = ablated: strictly fewer decided and the cap was hit
+	if cellInt(t, a, 1, 1) >= cellInt(t, a, 1, 2) {
+		t.Fatalf("ablation had no effect: %s of %s decided", cell(t, a, 1, 1), cell(t, a, 1, 2))
+	}
+	if cellInt(t, a, 1, 3) != cellInt(t, a, 1, 4) {
+		t.Fatalf("ablated run terminated before the cap: %s vs %s", cell(t, a, 1, 3), cell(t, a, 1, 4))
+	}
+}
+
+func TestE7PartitionAlwaysSplits(t *testing.T) {
+	tables := experiments.E7(1)
+	a := tables[0]
+	last := len(a.Rows) - 1 // "partition, cross = ∞"
+	if cellInt(t, a, last, 2) != cellInt(t, a, last, 1) {
+		t.Fatalf("partition split %s of %s runs, want all", cell(t, a, last, 2), cell(t, a, last, 1))
+	}
+	// narrow band: zero disagreements
+	if cellInt(t, a, 0, 2) != 0 {
+		t.Fatalf("narrow band disagreed %s times", cell(t, a, 0, 2))
+	}
+	b := tables[1]
+	// Δ below horizon → all agree; far above → all disagree
+	if cellInt(t, b, 0, 3) != 0 {
+		t.Fatalf("Δ=0.5 disagreed")
+	}
+	lastB := len(b.Rows) - 1
+	if cellInt(t, b, lastB, 2) != 0 {
+		t.Fatalf("Δ=100 agreed")
+	}
+}
+
+func TestE9NoPrefixViolationsNoHarvestGaps(t *testing.T) {
+	tb := experiments.E9(1)[0]
+	for r := range tb.Rows {
+		if cellInt(t, tb, r, 3) != 0 {
+			t.Fatalf("row %d: %s prefix violations", r, cell(t, tb, r, 3))
+		}
+		if cellInt(t, tb, r, 6) != 0 {
+			t.Fatalf("row %d: %s harvest gaps", r, cell(t, tb, r, 6))
+		}
+	}
+}
+
+func TestTablesDeterministic(t *testing.T) {
+	a := experiments.E4(3)
+	b := experiments.E4(3)
+	var ba, bb bytes.Buffer
+	for i := range a {
+		a[i].Fprint(&ba)
+		b[i].Fprint(&bb)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("experiment output not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"idonly/internal/async"
+	"idonly/internal/ids"
+)
+
+// E7 demonstrates the Section IX impossibility results by running the
+// constructions of Lemma 14 and Lemma 15:
+//
+//   - E7a (asynchrony, Lemma 14): the closure-gossip protocol under a
+//     partition with infinite cross delays always splits; under a wide
+//     uniform delay spread it splits with measurable frequency (the
+//     indistinguishability is probabilistic there); under a narrow
+//     spread it never does. Since the nodes know neither n nor f, the
+//     two partitioned executions are literally indistinguishable from
+//     complete systems — no protocol can do better.
+//
+//   - E7b (semi-synchrony, Lemma 15): the timeout-quorum protocol with
+//     guess T̂ against a true-but-unknown bound Δ: agreement whenever
+//     Δ ≤ T̂ (synchrony assumption holds), disagreement as soon as the
+//     adversary sets Δ beyond the decision horizon.
+func E7(seed uint64) []Table {
+	a := Table{
+		ID:      "E7a",
+		Title:   "asynchronous closure-gossip (Lemma 14): disagreement frequency",
+		Claim:   "partitioned executions are indistinguishable; disagreement has non-zero probability",
+		Columns: []string{"delay model", "runs", "disagreements", "undecided"},
+	}
+	const runs = 30
+	type model struct {
+		name  string
+		cross float64 // <0 = partition with dropped cross messages
+		lo    float64
+		hi    float64
+	}
+	for _, m := range []model{
+		{"uniform [0.4, 0.5] (2·min > max)", 0, 0.4, 0.5},
+		{"uniform [0.1, 1.0]", 0, 0.1, 1.0},
+		{"uniform [0.01, 5.0]", 0, 0.01, 5.0},
+		{"partition, cross = ∞", -1, 0.5, 0.5},
+	} {
+		dis, und := 0, 0
+		for s := 0; s < runs; s++ {
+			rng := ids.NewRand(seed + uint64(s))
+			all := ids.Sparse(rng, 8)
+			var procs []async.Process
+			var nodes []*async.ClosureGossip
+			for i, id := range all {
+				v := 0
+				if i < 4 {
+					v = 1
+				}
+				nd := async.NewClosureGossip(id, v)
+				nodes = append(nodes, nd)
+				procs = append(procs, nd)
+			}
+			var delay async.DelayFn
+			if m.cross < 0 {
+				groupA := make(map[ids.ID]bool)
+				for _, id := range all[:4] {
+					groupA[id] = true
+				}
+				delay = async.PartitionDelay(groupA, m.lo, -1)
+			} else {
+				delay = async.UniformDelay(rng.Split(), m.lo, m.hi)
+			}
+			sched := async.NewScheduler(procs, delay)
+			sched.Run(1e6)
+			first, split, undec := -1, false, false
+			for _, nd := range nodes {
+				if !nd.Decided() {
+					undec = true
+					continue
+				}
+				if first == -1 {
+					first = nd.Value()
+				} else if nd.Value() != first {
+					split = true
+				}
+			}
+			if split {
+				dis++
+			}
+			if undec {
+				und++
+			}
+		}
+		a.Row(m.name, runs, dis, und)
+	}
+
+	b := Table{
+		ID:      "E7b",
+		Title:   "semi-synchronous timeout-quorum (Lemma 15): guess T̂ = 2 vs true Δ",
+		Claim:   "agreement iff the unknown Δ is within the guessed horizon",
+		Columns: []string{"true Δ (cross)", "horizon 2·T̂", "agreed", "disagreed"},
+	}
+	for _, delta := range []float64{0.5, 1.0, 2.0, 3.9, 4.1, 8.0, 100.0} {
+		agreed, disagreed := 0, 0
+		for s := 0; s < runs; s++ {
+			rng := ids.NewRand(seed + uint64(300+s))
+			all := ids.Sparse(rng, 8)
+			groupA := make(map[ids.ID]bool)
+			for _, id := range all[:4] {
+				groupA[id] = true
+			}
+			var procs []async.Process
+			var nodes []*async.TimeoutQuorum
+			for i, id := range all {
+				v := 0
+				if i < 4 {
+					v = 1
+				}
+				nd := async.NewTimeoutQuorum(id, v, 2.0)
+				nodes = append(nodes, nd)
+				procs = append(procs, nd)
+			}
+			sched := async.NewScheduler(procs, async.PartitionDelay(groupA, 0.25, delta))
+			sched.Run(1e6)
+			first, split := -1, false
+			for _, nd := range nodes {
+				if first == -1 {
+					first = nd.Value()
+				} else if nd.Value() != first {
+					split = true
+				}
+			}
+			if split {
+				disagreed++
+			} else {
+				agreed++
+			}
+		}
+		b.Row(delta, 4.0, agreed, disagreed)
+	}
+	return []Table{a, b}
+}

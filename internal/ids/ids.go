@@ -1,0 +1,63 @@
+package ids
+
+import "sort"
+
+// ID is a node identifier in the id-only model: unique but not
+// necessarily consecutive. The zero value is reserved by the simulator
+// as the broadcast address, so generated identifiers are always >= 1.
+type ID uint64
+
+// Sparse returns n unique identifiers drawn pseudo-randomly from a
+// space much larger than n, so that the identifiers are non-consecutive
+// with overwhelming probability — the regime the paper targets (nodes
+// cannot enumerate "the first f+1 ids"). The result is sorted.
+func Sparse(r *Rand, n int) []ID {
+	if n < 0 {
+		panic("ids: Sparse with negative n")
+	}
+	seen := make(map[ID]bool, n)
+	out := make([]ID, 0, n)
+	for len(out) < n {
+		// Keep ids in a readable range for traces while still sparse.
+		id := ID(1 + r.Uint64()%uint64(1<<40))
+		if id == 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Consecutive returns the identifiers 1..n. The classical baselines
+// (phase king and friends) assume consecutive identifiers; the id-only
+// algorithms must not rely on this and are tested with Sparse ids.
+func Consecutive(n int) []ID {
+	out := make([]ID, n)
+	for i := range out {
+		out[i] = ID(i + 1)
+	}
+	return out
+}
+
+// Sample returns k distinct elements chosen pseudo-randomly from pool.
+// It panics if k > len(pool).
+func Sample(r *Rand, pool []ID, k int) []ID {
+	if k > len(pool) {
+		panic("ids: Sample k > len(pool)")
+	}
+	cp := make([]ID, len(pool))
+	copy(cp, pool)
+	r.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	out := cp[:k]
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortIDs sorts a slice of IDs in increasing order, in place, and
+// returns it for convenience.
+func SortIDs(s []ID) []ID {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}

@@ -1,0 +1,180 @@
+package ids_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"idonly/internal/ids"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := ids.NewRand(7), ids.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := ids.NewRand(1), ids.NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := ids.NewRand(3)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	ids.NewRand(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := ids.NewRand(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for v, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("value %d drawn %d times, expected ~%d", v, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := ids.NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := ids.NewRand(11)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := ids.NewRand(13)
+	f := func(n uint8) bool {
+		size := int(n%50) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseUniqueSortedNonZero(t *testing.T) {
+	r := ids.NewRand(17)
+	f := func(n uint8) bool {
+		size := int(n % 200)
+		out := ids.Sparse(r, size)
+		if len(out) != size {
+			return false
+		}
+		for i, id := range out {
+			if id == 0 {
+				return false
+			}
+			if i > 0 && out[i-1] >= id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseNonConsecutive(t *testing.T) {
+	// The whole point of sparse ids: with a 2^40 space and 100 draws,
+	// consecutive pairs are essentially impossible.
+	out := ids.Sparse(ids.NewRand(19), 100)
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1]+1 {
+			t.Fatalf("consecutive ids %d, %d — astronomically unlikely, generator broken", out[i-1], out[i])
+		}
+	}
+}
+
+func TestConsecutive(t *testing.T) {
+	out := ids.Consecutive(5)
+	for i, id := range out {
+		if id != ids.ID(i+1) {
+			t.Fatalf("Consecutive(5)[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestSampleSubset(t *testing.T) {
+	r := ids.NewRand(23)
+	pool := ids.Sparse(r, 20)
+	poolSet := make(map[ids.ID]bool)
+	for _, id := range pool {
+		poolSet[id] = true
+	}
+	got := ids.Sample(r, pool, 7)
+	if len(got) != 7 {
+		t.Fatalf("Sample returned %d", len(got))
+	}
+	seen := make(map[ids.ID]bool)
+	for _, id := range got {
+		if !poolSet[id] || seen[id] {
+			t.Fatalf("Sample produced %d (dup or out of pool)", id)
+		}
+		seen[id] = true
+	}
+	// The original pool must be untouched.
+	for i, id := range ids.SortIDs(pool) {
+		if pool[i] != id {
+			t.Fatal("Sample mutated its pool")
+		}
+	}
+}
+
+func TestSamplePanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(k > len) must panic")
+		}
+	}()
+	ids.Sample(ids.NewRand(1), []ids.ID{1, 2}, 3)
+}

@@ -1,0 +1,39 @@
+package quorum_test
+
+import (
+	"testing"
+
+	"idonly/internal/quorum"
+)
+
+// FuzzThresholds cross-checks the exact integer threshold arithmetic
+// against a rational-number reference: 3·count ≥ k·nv must agree with
+// count ≥ k·nv/3 evaluated without overflow for all small inputs, and
+// the trim width must leave at least one survivor.
+func FuzzThresholds(f *testing.F) {
+	f.Add(0, 0)
+	f.Add(1, 3)
+	f.Add(2, 6)
+	f.Add(4, 6)
+	f.Add(5, 7)
+	f.Fuzz(func(t *testing.T, count, nv int) {
+		if count < 0 || nv < 0 || count > 1<<20 || nv > 1<<20 {
+			return
+		}
+		if got, want := quorum.AtLeastThird(count, nv), 3*count >= nv; got != want {
+			t.Fatalf("AtLeastThird(%d, %d) = %v", count, nv, got)
+		}
+		if got, want := quorum.AtLeastTwoThirds(count, nv), 3*count >= 2*nv; got != want {
+			t.Fatalf("AtLeastTwoThirds(%d, %d) = %v", count, nv, got)
+		}
+		if quorum.LessThanThird(count, nv) == quorum.AtLeastThird(count, nv) {
+			t.Fatalf("LessThanThird not the complement at (%d, %d)", count, nv)
+		}
+		if nv >= 1 {
+			trim := quorum.FloorThird(nv)
+			if nv-2*trim < 1 {
+				t.Fatalf("trim %d leaves nothing of %d", trim, nv)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package quorum implements the threshold arithmetic of the id-only
+// model. The paper replaces the unknown fault bound f by the locally
+// observable quantity nv — the number of distinct nodes a node v has
+// heard from — and tests message counts against nv/3 and 2nv/3.
+//
+// All comparisons are exact: "at least nv/3" is evaluated as
+// 3·count ≥ nv and "at least 2nv/3" as 3·count ≥ 2·nv, with no
+// floating-point division, matching the rational inequalities used in
+// the paper's proofs.
+package quorum
+
+import "idonly/internal/ids"
+
+// AtLeastThird reports whether count ≥ nv/3, i.e. 3·count ≥ nv.
+func AtLeastThird(count, nv int) bool {
+	return 3*count >= nv
+}
+
+// AtLeastTwoThirds reports whether count ≥ 2·nv/3, i.e. 3·count ≥ 2·nv.
+func AtLeastTwoThirds(count, nv int) bool {
+	return 3*count >= 2*nv
+}
+
+// LessThanThird reports whether count < nv/3 — the condition under
+// which the consensus algorithm adopts the coordinator's opinion.
+func LessThanThird(count, nv int) bool {
+	return !AtLeastThird(count, nv)
+}
+
+// FloorThird returns ⌊nv/3⌋, the trim width of approximate agreement.
+func FloorThird(nv int) int {
+	return nv / 3
+}
+
+// Witnesses tracks, per message key, the cumulative set of distinct
+// senders observed across rounds — the Srikanth–Toueg counting
+// semantics used by Algorithm 1 and Algorithm 2. A sender is counted at
+// most once per key no matter how many rounds it repeats the message.
+type Witnesses[K comparable] struct {
+	byKey map[K]map[ids.ID]bool
+}
+
+// NewWitnesses returns an empty witness tracker.
+func NewWitnesses[K comparable]() *Witnesses[K] {
+	return &Witnesses[K]{byKey: make(map[K]map[ids.ID]bool)}
+}
+
+// Add records that sender has vouched for key. It reports whether this
+// is the first time the sender vouched for the key.
+func (w *Witnesses[K]) Add(key K, sender ids.ID) bool {
+	set := w.byKey[key]
+	if set == nil {
+		set = make(map[ids.ID]bool)
+		w.byKey[key] = set
+	}
+	if set[sender] {
+		return false
+	}
+	set[sender] = true
+	return true
+}
+
+// Count returns the number of distinct senders recorded for key.
+func (w *Witnesses[K]) Count(key K) int {
+	return len(w.byKey[key])
+}
+
+// Has reports whether sender already vouched for key.
+func (w *Witnesses[K]) Has(key K, sender ids.ID) bool {
+	return w.byKey[key][sender]
+}
+
+// Keys returns all keys with at least one witness, in unspecified order.
+func (w *Witnesses[K]) Keys() []K {
+	out := make([]K, 0, len(w.byKey))
+	for k := range w.byKey {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Tally counts, for a single round, how many distinct senders sent each
+// key. Unlike Witnesses it is reset every round; the consensus
+// algorithms (Alg. 3 and Alg. 5) count per-round, not cumulatively.
+type Tally[K comparable] struct {
+	byKey map[K]map[ids.ID]bool
+}
+
+// NewTally returns an empty per-round tally.
+func NewTally[K comparable]() *Tally[K] {
+	return &Tally[K]{byKey: make(map[K]map[ids.ID]bool)}
+}
+
+// Add records one vote by sender for key (idempotent per sender).
+func (t *Tally[K]) Add(key K, sender ids.ID) {
+	set := t.byKey[key]
+	if set == nil {
+		set = make(map[ids.ID]bool)
+		t.byKey[key] = set
+	}
+	set[sender] = true
+}
+
+// Count returns the number of distinct senders that voted for key.
+func (t *Tally[K]) Count(key K) int {
+	return len(t.byKey[key])
+}
+
+// Best returns the key with the most votes and its count. ok is false
+// when the tally is empty. Ties are broken deterministically by
+// preferring the key whose set was built first is not possible with map
+// iteration, so ties are broken by count only after callers filter with
+// a threshold; for the threshold uses in this repository at most one
+// key can pass 2nv/3 and at most two can pass nv/3, and callers that
+// need determinism use BestFunc with an explicit order.
+func (t *Tally[K]) Best() (key K, count int, ok bool) {
+	for k, set := range t.byKey {
+		if len(set) > count {
+			key, count, ok = k, len(set), true
+		}
+	}
+	return key, count, ok
+}
+
+// BestFunc returns the key with the most votes, breaking ties with
+// less(a, b) == true meaning a is preferred. ok is false when empty.
+func (t *Tally[K]) BestFunc(less func(a, b K) bool) (key K, count int, ok bool) {
+	for k, set := range t.byKey {
+		switch {
+		case !ok, len(set) > count:
+			key, count, ok = k, len(set), true
+		case len(set) == count && less(k, key):
+			key = k
+		}
+	}
+	return key, count, ok
+}
+
+// Has reports whether sender voted for key.
+func (t *Tally[K]) Has(key K, sender ids.ID) bool {
+	return t.byKey[key][sender]
+}
+
+// HasSender reports whether sender voted for any key in this tally —
+// the probe used by the substitution rules ("did this member send any
+// message of this kind this round?").
+func (t *Tally[K]) HasSender(sender ids.ID) bool {
+	for _, set := range t.byKey {
+		if set[sender] {
+			return true
+		}
+	}
+	return false
+}
+
+// Keys returns all keys present in the tally.
+func (t *Tally[K]) Keys() []K {
+	out := make([]K, 0, len(t.byKey))
+	for k := range t.byKey {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Reset clears the tally for reuse in the next round.
+func (t *Tally[K]) Reset() {
+	t.byKey = make(map[K]map[ids.ID]bool)
+}

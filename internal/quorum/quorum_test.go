@@ -1,0 +1,168 @@
+package quorum_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"idonly/internal/ids"
+	"idonly/internal/quorum"
+)
+
+func TestThresholdExactness(t *testing.T) {
+	cases := []struct {
+		count, nv  int
+		third, two bool
+	}{
+		{0, 0, true, true},  // vacuous
+		{1, 3, true, false}, // 1 ≥ 3/3
+		{1, 4, false, false},
+		{2, 4, true, false},  // 2 ≥ 4/3
+		{3, 4, true, true},   // 3 ≥ 8/3
+		{2, 6, true, false},  // exactly nv/3
+		{4, 6, true, true},   // exactly 2nv/3
+		{3, 6, true, false},  // between
+		{6, 9, true, true},   // exactly 2nv/3
+		{5, 9, true, false},  // just below 2nv/3
+		{2, 7, false, false}, // 6 < 7
+		{3, 7, true, false},  // 9 ≥ 7
+		{5, 7, true, true},   // 15 ≥ 14
+	}
+	for _, c := range cases {
+		if got := quorum.AtLeastThird(c.count, c.nv); got != c.third {
+			t.Errorf("AtLeastThird(%d, %d) = %v, want %v", c.count, c.nv, got, c.third)
+		}
+		if got := quorum.AtLeastTwoThirds(c.count, c.nv); got != c.two {
+			t.Errorf("AtLeastTwoThirds(%d, %d) = %v, want %v", c.count, c.nv, got, c.two)
+		}
+	}
+}
+
+func TestLessThanThirdIsComplement(t *testing.T) {
+	f := func(count, nv uint8) bool {
+		return quorum.LessThanThird(int(count), int(nv)) != quorum.AtLeastThird(int(count), int(nv))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoThirdsImpliesThird(t *testing.T) {
+	// Property: 2nv/3 threshold is at least as strong as nv/3.
+	f := func(count, nv uint8) bool {
+		if quorum.AtLeastTwoThirds(int(count), int(nv)) && int(nv) > 0 {
+			return quorum.AtLeastThird(int(count), int(nv))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorThird(t *testing.T) {
+	for _, c := range []struct{ nv, want int }{{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 1}, {6, 2}, {10, 3}} {
+		if got := quorum.FloorThird(c.nv); got != c.want {
+			t.Errorf("FloorThird(%d) = %d, want %d", c.nv, got, c.want)
+		}
+	}
+}
+
+func TestWitnessesDistinctSenders(t *testing.T) {
+	w := quorum.NewWitnesses[string]()
+	if !w.Add("k", 1) {
+		t.Fatal("first add must report true")
+	}
+	if w.Add("k", 1) {
+		t.Fatal("duplicate sender must report false")
+	}
+	w.Add("k", 2)
+	w.Add("other", 1)
+	if w.Count("k") != 2 {
+		t.Fatalf("Count = %d, want 2", w.Count("k"))
+	}
+	if w.Count("missing") != 0 {
+		t.Fatal("missing key must count 0")
+	}
+	if !w.Has("k", 2) || w.Has("k", 3) {
+		t.Fatal("Has is wrong")
+	}
+	if len(w.Keys()) != 2 {
+		t.Fatalf("Keys = %v", w.Keys())
+	}
+}
+
+func TestWitnessesCumulativeProperty(t *testing.T) {
+	// Property: count equals the number of distinct senders added,
+	// regardless of repetition pattern.
+	f := func(senders []uint8) bool {
+		w := quorum.NewWitnesses[int]()
+		distinct := make(map[uint8]bool)
+		for _, s := range senders {
+			w.Add(0, ids.ID(s))
+			distinct[s] = true
+		}
+		return w.Count(0) == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallyBestAndTies(t *testing.T) {
+	tl := quorum.NewTally[float64]()
+	tl.Add(1, 10)
+	tl.Add(1, 11)
+	tl.Add(0, 12)
+	tl.Add(0, 13)
+	// tie between 0 and 1: BestFunc prefers the smaller value
+	x, c, ok := tl.BestFunc(func(a, b float64) bool { return a < b })
+	if !ok || c != 2 || x != 0 {
+		t.Fatalf("BestFunc = (%v, %d, %v), want (0, 2, true)", x, c, ok)
+	}
+	tl.Add(1, 14)
+	x, c, ok = tl.BestFunc(func(a, b float64) bool { return a < b })
+	if !ok || c != 3 || x != 1 {
+		t.Fatalf("BestFunc = (%v, %d, %v), want (1, 3, true)", x, c, ok)
+	}
+}
+
+func TestTallyBestEmpty(t *testing.T) {
+	tl := quorum.NewTally[int]()
+	if _, _, ok := tl.Best(); ok {
+		t.Fatal("empty tally must report !ok")
+	}
+}
+
+func TestTallyHasSender(t *testing.T) {
+	tl := quorum.NewTally[string]()
+	tl.Add("a", 1)
+	if !tl.HasSender(1) || tl.HasSender(2) {
+		t.Fatal("HasSender wrong")
+	}
+	if !tl.Has("a", 1) || tl.Has("b", 1) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestTallyIdempotentPerSender(t *testing.T) {
+	tl := quorum.NewTally[string]()
+	tl.Add("x", 5)
+	tl.Add("x", 5)
+	if tl.Count("x") != 1 {
+		t.Fatalf("Count = %d after duplicate votes", tl.Count("x"))
+	}
+	// ... but a Byzantine sender may vote for several values.
+	tl.Add("y", 5)
+	if tl.Count("y") != 1 {
+		t.Fatal("second value not counted")
+	}
+}
+
+func TestTallyReset(t *testing.T) {
+	tl := quorum.NewTally[int]()
+	tl.Add(1, 1)
+	tl.Reset()
+	if tl.Count(1) != 0 || len(tl.Keys()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

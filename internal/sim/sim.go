@@ -1,0 +1,381 @@
+// Package sim is a deterministic, lock-step synchronous message-passing
+// simulator for the id-only model of the paper.
+//
+// The model (paper §IV): computation proceeds in rounds. In each round a
+// node receives the messages sent to it in the previous round, computes,
+// and sends messages to be consumed in the next round. A node can
+// broadcast to all nodes (including ones it has never heard from) or
+// unicast to a node it already heard from. The sender identifier is
+// attached by the network — a Byzantine node cannot forge its own id on
+// a direct message, but it can lie arbitrarily inside payloads (e.g.
+// claim echoes from non-existent nodes). Duplicate messages from the
+// same node within one round are discarded.
+//
+// The simulator is single-goroutine per round-step and fully
+// deterministic: participants are always iterated in increasing id
+// order and all randomness comes from seeded ids.Rand generators owned
+// by the caller.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"idonly/internal/ids"
+)
+
+// Broadcast is the destination address meaning "all participants".
+const Broadcast ids.ID = 0
+
+// Message is a message as received: the network has stamped the true
+// sender identifier. Payload values must be comparable Go values
+// (structs without slices/maps), because the per-round duplicate filter
+// and the protocols' witness sets use them as map keys.
+type Message struct {
+	From    ids.ID
+	Payload any
+}
+
+// Send is a message as submitted by a process: a destination and a
+// payload. The runner stamps the sender.
+type Send struct {
+	To      ids.ID // Broadcast or a specific node id
+	Payload any
+}
+
+// BroadcastPayload is a convenience constructor for a broadcast Send.
+func BroadcastPayload(p any) Send { return Send{To: Broadcast, Payload: p} }
+
+// Unicast is a convenience constructor for a direct Send.
+func Unicast(to ids.ID, p any) Send { return Send{To: to, Payload: p} }
+
+// Process is a correct protocol participant.
+//
+// Step is called exactly once per round with the (deduplicated) inbox
+// of messages sent to the process in the previous round; round numbers
+// start at 1 and the round-1 inbox is empty. Step returns the messages
+// to send in this round. After Decided reports true the runner stops
+// calling Step and the node is silent (the paper's protocols terminate
+// and stop sending; their substitution rules keep the remaining nodes'
+// thresholds satisfiable).
+type Process interface {
+	ID() ids.ID
+	Step(round int, inbox []Message) []Send
+	Decided() bool
+	Output() any
+}
+
+// Leaver is an optional interface for dynamic-network processes: when
+// Left reports true after a Step, the runner removes the node from the
+// system at the end of the round (it can still deliver the messages it
+// produced in that final Step).
+type Leaver interface {
+	Left() bool
+}
+
+// Adversary drives all faulty nodes. Each round the runner calls Step
+// once per faulty node, with that node's inbox, and delivers whatever
+// Sends it returns (stamped with the faulty node's real id — identity
+// forging on direct messages is impossible in the model). An adversary
+// may equivocate by unicasting different payloads to different nodes,
+// stay silent, replay, or flood.
+type Adversary interface {
+	Step(node ids.ID, round int, inbox []Message) []Send
+}
+
+// Metrics accumulates cost measures of a run.
+type Metrics struct {
+	Rounds            int            // rounds executed
+	MessagesDelivered int64          // unicast-equivalent deliveries (a broadcast to k nodes counts k)
+	MessagesDropped   int64          // dropped as within-round duplicates
+	ByRound           []int64        // deliveries per round (index round-1)
+	DecidedRound      map[ids.ID]int // first round in which each correct node reported Decided
+}
+
+// Observer receives a copy of every round's traffic; used by the trace
+// tool. From/sends are the post-stamping values.
+type Observer func(round int, from ids.ID, sends []Send)
+
+// Config configures a Runner.
+type Config struct {
+	MaxRounds          int      // hard stop; 0 means DefaultMaxRounds
+	StopWhenAllDecided bool     // stop as soon as every correct node decided
+	Observer           Observer // optional traffic observer
+}
+
+// DefaultMaxRounds bounds runaway protocols in tests and experiments.
+const DefaultMaxRounds = 10_000
+
+// Runner executes a synchronous round-based system.
+type Runner struct {
+	cfg     Config
+	procs   map[ids.ID]Process
+	adv     Adversary
+	faulty  map[ids.ID]bool
+	active  []ids.ID // sorted ids of all present nodes (correct + faulty)
+	inboxes map[ids.ID][]Message
+	pending map[ids.ID]map[dedupKey]bool
+	metrics Metrics
+	spawns  map[int][]spawn // round -> nodes joining at the start of that round
+	round   int
+}
+
+type dedupKey struct {
+	from    ids.ID
+	payload any
+}
+
+type spawn struct {
+	proc   Process // nil for a faulty join
+	id     ids.ID
+	faulty bool
+}
+
+// NewRunner creates a runner over the given correct processes, faulty
+// node ids and the adversary controlling them. adv may be nil when
+// faulty is empty.
+func NewRunner(cfg Config, procs []Process, faulty []ids.ID, adv Adversary) *Runner {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	r := &Runner{
+		cfg:     cfg,
+		procs:   make(map[ids.ID]Process, len(procs)),
+		adv:     adv,
+		faulty:  make(map[ids.ID]bool, len(faulty)),
+		inboxes: make(map[ids.ID][]Message),
+		pending: make(map[ids.ID]map[dedupKey]bool),
+		spawns:  make(map[int][]spawn),
+	}
+	r.metrics.DecidedRound = make(map[ids.ID]int)
+	for _, p := range procs {
+		if _, dup := r.procs[p.ID()]; dup {
+			panic(fmt.Sprintf("sim: duplicate process id %d", p.ID()))
+		}
+		r.procs[p.ID()] = p
+		r.active = append(r.active, p.ID())
+	}
+	for _, id := range faulty {
+		if _, clash := r.procs[id]; clash {
+			panic(fmt.Sprintf("sim: id %d is both correct and faulty", id))
+		}
+		if r.faulty[id] {
+			panic(fmt.Sprintf("sim: duplicate faulty id %d", id))
+		}
+		r.faulty[id] = true
+		r.active = append(r.active, id)
+	}
+	if len(faulty) > 0 && adv == nil {
+		panic("sim: faulty nodes without an adversary")
+	}
+	sort.Slice(r.active, func(i, j int) bool { return r.active[i] < r.active[j] })
+	return r
+}
+
+// ScheduleJoin arranges for a correct process to join the system at the
+// start of the given round (its first Step is that round).
+func (r *Runner) ScheduleJoin(round int, p Process) {
+	if round <= r.round {
+		panic("sim: join scheduled in the past")
+	}
+	r.spawns[round] = append(r.spawns[round], spawn{proc: p, id: p.ID()})
+}
+
+// ScheduleFaultyJoin arranges for a faulty node to join at the start of
+// the given round.
+func (r *Runner) ScheduleFaultyJoin(round int, id ids.ID) {
+	if round <= r.round {
+		panic("sim: join scheduled in the past")
+	}
+	r.spawns[round] = append(r.spawns[round], spawn{id: id, faulty: true})
+}
+
+// RemoveFaulty removes a faulty node from the system immediately (the
+// adversary decides when faulty nodes leave, per the dynamic model).
+func (r *Runner) RemoveFaulty(id ids.ID) {
+	if !r.faulty[id] {
+		panic(fmt.Sprintf("sim: RemoveFaulty on non-faulty id %d", id))
+	}
+	delete(r.faulty, id)
+	r.removeActive(id)
+}
+
+// Active returns a copy of the sorted ids of all present nodes.
+func (r *Runner) Active() []ids.ID {
+	out := make([]ids.ID, len(r.active))
+	copy(out, r.active)
+	return out
+}
+
+// Process returns the correct process with the given id, or nil.
+func (r *Runner) Process(id ids.ID) Process { return r.procs[id] }
+
+// Metrics returns the metrics accumulated so far.
+func (r *Runner) Metrics() Metrics { return r.metrics }
+
+// Round returns the number of the last executed round (0 before Run).
+func (r *Runner) Round() int { return r.round }
+
+// Run executes rounds until every correct node has decided (when
+// StopWhenAllDecided), the caller-provided stop function returns true,
+// or MaxRounds is reached. stop may be nil. It returns the metrics.
+func (r *Runner) Run(stop func(round int) bool) Metrics {
+	for r.round < r.cfg.MaxRounds {
+		r.StepRound()
+		if r.cfg.StopWhenAllDecided && r.allDecided() {
+			break
+		}
+		if stop != nil && stop(r.round) {
+			break
+		}
+	}
+	return r.metrics
+}
+
+// StepRound executes exactly one round: joins scheduled for this round
+// take effect, every active node consumes its inbox and produces sends,
+// and the sends become next round's inboxes.
+func (r *Runner) StepRound() {
+	r.round++
+	round := r.round
+	for _, s := range r.spawns[round] {
+		if s.faulty {
+			if r.faulty[s.id] {
+				panic(fmt.Sprintf("sim: faulty id %d joined twice", s.id))
+			}
+			r.faulty[s.id] = true
+		} else {
+			if _, dup := r.procs[s.id]; dup {
+				panic(fmt.Sprintf("sim: process id %d joined twice", s.id))
+			}
+			r.procs[s.id] = s.proc
+		}
+		r.insertActive(s.id)
+	}
+	delete(r.spawns, round)
+
+	// Snapshot inboxes for this round and reset delivery buffers.
+	inboxes := r.inboxes
+	r.inboxes = make(map[ids.ID][]Message)
+	r.pending = make(map[ids.ID]map[dedupKey]bool)
+	r.metrics.ByRound = append(r.metrics.ByRound, 0)
+
+	var leavers []ids.ID
+	actives := make([]ids.ID, len(r.active))
+	copy(actives, r.active)
+	for _, id := range actives {
+		inbox := inboxes[id]
+		sortInbox(inbox)
+		if r.faulty[id] {
+			for _, s := range r.adv.Step(id, round, inbox) {
+				r.deliver(id, s)
+			}
+			continue
+		}
+		p := r.procs[id]
+		if p.Decided() {
+			if _, seen := r.metrics.DecidedRound[id]; !seen {
+				r.metrics.DecidedRound[id] = round - 1
+			}
+			continue
+		}
+		sends := p.Step(round, inbox)
+		if r.cfg.Observer != nil {
+			r.cfg.Observer(round, id, sends)
+		}
+		for _, s := range sends {
+			r.deliver(id, s)
+		}
+		if p.Decided() {
+			if _, seen := r.metrics.DecidedRound[id]; !seen {
+				r.metrics.DecidedRound[id] = round
+			}
+		}
+		if l, ok := p.(Leaver); ok && l.Left() {
+			leavers = append(leavers, id)
+		}
+	}
+	for _, id := range leavers {
+		delete(r.procs, id)
+		r.removeActive(id)
+	}
+	r.metrics.Rounds = round
+}
+
+// deliver routes one Send from the given sender, expanding broadcasts
+// to every currently active node (including the sender itself — the
+// paper's algorithms count the self-copy, e.g. Alg. 4 "including self")
+// and discarding within-round duplicates per recipient.
+func (r *Runner) deliver(from ids.ID, s Send) {
+	if s.To == Broadcast {
+		for _, to := range r.active {
+			r.deliverOne(from, to, s.Payload)
+		}
+		return
+	}
+	r.deliverOne(from, s.To, s.Payload)
+}
+
+func (r *Runner) deliverOne(from, to ids.ID, payload any) {
+	if !r.isActive(to) {
+		return // destination absent (left or never joined)
+	}
+	key := dedupKey{from: from, payload: payload}
+	set := r.pending[to]
+	if set == nil {
+		set = make(map[dedupKey]bool)
+		r.pending[to] = set
+	}
+	if set[key] {
+		r.metrics.MessagesDropped++
+		return
+	}
+	set[key] = true
+	r.inboxes[to] = append(r.inboxes[to], Message{From: from, Payload: payload})
+	r.metrics.MessagesDelivered++
+	r.metrics.ByRound[len(r.metrics.ByRound)-1]++
+}
+
+func (r *Runner) allDecided() bool {
+	for _, p := range r.procs {
+		if !p.Decided() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Runner) isActive(id ids.ID) bool {
+	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
+	return i < len(r.active) && r.active[i] == id
+}
+
+func (r *Runner) insertActive(id ids.ID) {
+	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
+	if i < len(r.active) && r.active[i] == id {
+		panic(fmt.Sprintf("sim: id %d already active", id))
+	}
+	r.active = append(r.active, 0)
+	copy(r.active[i+1:], r.active[i:])
+	r.active[i] = id
+}
+
+func (r *Runner) removeActive(id ids.ID) {
+	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
+	if i < len(r.active) && r.active[i] == id {
+		r.active = append(r.active[:i], r.active[i+1:]...)
+	}
+}
+
+// sortInbox orders an inbox deterministically: by sender id, then by a
+// stable formatting of the payload. Protocol logic must not depend on
+// inbox order; the sort exists so traces and any order-dependent
+// tie-breaks are reproducible run to run.
+func sortInbox(inbox []Message) {
+	sort.Slice(inbox, func(i, j int) bool {
+		if inbox[i].From != inbox[j].From {
+			return inbox[i].From < inbox[j].From
+		}
+		return fmt.Sprint(inbox[i].Payload) < fmt.Sprint(inbox[j].Payload)
+	})
+}
