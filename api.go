@@ -9,6 +9,7 @@ import (
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
 	"idonly/internal/core/rotor"
+	"idonly/internal/engine"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
 )
@@ -165,4 +166,46 @@ func NewAsyncScheduler(procs []AsyncProcess, delay DelayFn) *AsyncScheduler {
 // PartitionDelay builds the Lemma 14/15 partition delay policy.
 func PartitionDelay(groupA map[NodeID]bool, inner, cross float64) DelayFn {
 	return async.PartitionDelay(groupA, inner, cross)
+}
+
+// ---------------------------------------------------------------------
+// Parallel scenario engine
+// ---------------------------------------------------------------------
+
+// Scenario is one declarative simulation run — a protocol, an adversary
+// strategy, a system size (n, f) and a seed. Grid crosses protocols ×
+// adversaries × sizes × seeds into a scenario list, and Report carries
+// the sweep's per-scenario results plus per-cell aggregates (round and
+// message percentiles).
+//
+// Determinism contract: every scenario derives all randomness from its
+// own seeded Rand, results are merged in scenario-index order and
+// aggregates in sorted key order, so Report.Canonical() — the report
+// with the wall-clock timing fields zeroed — is byte-identical for any
+// worker count, including per-round sharding via Scenario.SimWorkers
+// (which maps to Config.Workers inside the synchronous simulator).
+type (
+	Scenario       = engine.Scenario
+	Grid           = engine.Grid
+	Report         = engine.Report
+	ScenarioResult = engine.Result
+	EngineOptions  = engine.Options
+)
+
+// RunAll executes every scenario across a worker pool of
+// opts.Workers goroutines (GOMAXPROCS when 0) and returns the
+// aggregated report.
+func RunAll(specs []Scenario, opts EngineOptions) *Report {
+	return engine.RunAll(specs, opts)
+}
+
+// PresetGrid returns one of the named benchmark grids: "small" (120
+// scenarios), "medium" (360) or "large" (800).
+func PresetGrid(name string) (Grid, error) { return engine.PresetGrid(name) }
+
+// ParallelMap fans fn(0..n-1) across at most workers goroutines and
+// returns the results in index order — the engine's deterministic
+// parallel-map primitive, exported for custom sweeps.
+func ParallelMap[T any](workers, n int, fn func(i int) T) []T {
+	return engine.Map(workers, n, fn)
 }

@@ -79,6 +79,44 @@ func TestPublicAPIParallel(t *testing.T) {
 	}
 }
 
+func TestPublicAPIEngine(t *testing.T) {
+	grid := idonly.Grid{
+		Name:        "api-test",
+		Protocols:   []string{"consensus", "rbroadcast"},
+		Adversaries: []string{"silent", "split"},
+		Sizes:       []int{7},
+		Seeds:       []uint64{1, 2},
+	}
+	specs := grid.Scenarios()
+	if len(specs) != 8 {
+		t.Fatalf("grid expanded to %d scenarios, want 8", len(specs))
+	}
+	seq := idonly.RunAll(specs, idonly.EngineOptions{Workers: 1})
+	par := idonly.RunAll(specs, idonly.EngineOptions{Workers: 4})
+	if string(seq.Canonical()) != string(par.Canonical()) {
+		t.Fatal("canonical reports differ across worker counts via public API")
+	}
+	if len(seq.Errors()) != 0 {
+		t.Fatalf("errors: %v", seq.Errors())
+	}
+
+	doubled := idonly.ParallelMap(3, 5, func(i int) int { return 2 * i })
+	for i, v := range doubled {
+		if v != 2*i {
+			t.Fatalf("ParallelMap[%d] = %d", i, v)
+		}
+	}
+
+	if _, err := idonly.PresetGrid("small"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sharded simulator fast path is part of the public Config.
+	if (idonly.Config{Workers: 4}).Workers != 4 {
+		t.Fatal("Config.Workers not exposed")
+	}
+}
+
 func TestPublicAPIDynamicAndAsync(t *testing.T) {
 	// dynamic
 	rng := idonly.NewRand(4)

@@ -1,32 +1,118 @@
-// Command idonly-bench regenerates every experiment table of the
-// reproduction (E1–E10; see DESIGN.md for the per-experiment index and
-// EXPERIMENTS.md for paper-claim vs measured).
+// Command idonly-bench drives the reproduction's workloads: the
+// experiment tables E1–E10 (see DESIGN.md for the per-experiment index
+// and EXPERIMENTS.md for paper-claim vs measured) and the parallel
+// scenario engine's benchmark grids.
 //
 // Usage:
 //
-//	idonly-bench                 # run everything
-//	idonly-bench -run E4,E5      # run a subset
-//	idonly-bench -seed 7         # change the workload seed
+//	idonly-bench                          # run every experiment table
+//	idonly-bench -run E4,E5               # run a subset
+//	idonly-bench -seed 7                  # change the workload seed
+//	idonly-bench -workers 8               # worker-pool width for the sweeps
+//	idonly-bench -grid small              # run a scenario grid instead
+//	idonly-bench -grid small -workers 4   # explicit -workers adds a sequential
+//	                                      # baseline run, a canonical-report
+//	                                      # equality check and the measured
+//	                                      # speedup
+//	idonly-bench -grid small -json        # emit the grid report as JSON
+//	                                      # (diagnostics go to stderr)
+//	idonly-bench -grid small -sim-workers 4  # also shard rounds inside each run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"idonly/internal/engine"
 	"idonly/internal/experiments"
 )
 
 func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 42, "workload seed (runs are deterministic per seed)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for sweeps and grids")
+	grid := flag.String("grid", "", "run a scenario grid instead of the experiments: small, medium or large")
+	jsonOut := flag.Bool("json", false, "with -grid: emit the full report as JSON")
+	simWorkers := flag.Int("sim-workers", 1, "with -grid: shard each round's Step calls inside every run across this many goroutines")
 	flag.Parse()
+	// Only an explicitly chosen -workers triggers the sequential
+	// baseline + speedup comparison: it doubles the work, so the
+	// default run sweeps the grid exactly once.
+	compare := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			compare = true
+		}
+	})
 
+	if *grid != "" {
+		if err := runGrid(*grid, *workers, *simWorkers, *jsonOut, compare); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	runExperiments(*run, *seed, *workers)
+}
+
+// runGrid expands the named grid and sweeps it across the worker pool.
+// With compare set (an explicit -workers flag) and more than one
+// worker, it first runs a sequential baseline, checks that the
+// canonical reports are byte-identical (the engine's determinism
+// contract) and prints the measured speedup; with -json the speedup
+// line goes to stderr so stdout stays machine-readable.
+func runGrid(name string, workers, simWorkers int, jsonOut, compare bool) error {
+	g, err := engine.PresetGrid(name)
+	if err != nil {
+		return err
+	}
+	g.SimWorkers = simWorkers
+	specs := g.Scenarios()
+
+	var baseline *engine.Report
+	if compare && workers > 1 {
+		baseline = engine.RunAll(specs, engine.Options{Workers: 1, Grid: name})
+	}
+	rep := engine.RunAll(specs, engine.Options{Workers: workers, Grid: name})
+
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if baseline != nil {
+		if string(baseline.Canonical()) != string(rep.Canonical()) {
+			return fmt.Errorf("determinism violated: canonical reports differ between workers=1 and workers=%d", workers)
+		}
+		out := os.Stdout
+		if jsonOut {
+			out = os.Stderr
+		}
+		seq := time.Duration(baseline.ElapsedNS)
+		par := time.Duration(rep.ElapsedNS)
+		fmt.Fprintf(out, "sequential baseline %v, %d workers %v: %.2fx speedup (reports byte-identical)\n",
+			seq.Round(time.Millisecond), workers, par.Round(time.Millisecond),
+			float64(seq)/float64(par))
+	}
+	if errs := rep.Errors(); len(errs) > 0 {
+		return fmt.Errorf("%d scenarios failed; first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
+	}
+	return nil
+}
+
+// runExperiments regenerates the selected experiment tables, fanning
+// each experiment's internal sweeps across the worker pool.
+func runExperiments(run string, seed uint64, workers int) {
+	experiments.Parallelism = workers
 	want := map[string]bool{}
-	if *run != "" {
-		for _, id := range strings.Split(*run, ",") {
+	if run != "" {
+		for _, id := range strings.Split(run, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
@@ -38,14 +124,14 @@ func main() {
 		}
 		any = true
 		start := time.Now()
-		tables := exp.Run(*seed)
+		tables := exp.Run(seed)
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; available:\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; available:\n", run)
 		for _, exp := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", exp.ID, exp.Name)
 		}

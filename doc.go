@@ -10,10 +10,23 @@
 // approximate agreement, parallel consensus, dynamic total ordering),
 // the synchronous and asynchronous simulators in internal/sim and
 // internal/async, the classical known-n,f baselines in
-// internal/baseline, Byzantine strategies in internal/adversary, and
-// the experiment harness in internal/experiments. See README.md for a
-// guided tour, DESIGN.md for the system inventory, and EXPERIMENTS.md
-// for the paper-claim vs measured record. The benchmarks in this
-// package (bench_test.go) exercise one representative workload per
-// experiment E1–E10.
+// internal/baseline, Byzantine strategies in internal/adversary, the
+// parallel scenario engine in internal/engine, and the experiment
+// harness in internal/experiments. See README.md for a guided tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-claim vs measured record. The benchmarks in this package
+// (bench_test.go) exercise one representative workload per experiment
+// E1–E10.
+//
+// # Parallel scenario engine
+//
+// internal/engine fans many independent (protocol × adversary × size ×
+// seed) simulation runs across a worker pool (Scenario, Grid, RunAll,
+// Report — all re-exported from this package), and internal/sim can
+// additionally shard one run's per-round Step calls across goroutines
+// via Config.Workers. Both layers obey one determinism contract: each
+// scenario seeds its own ids.Rand, the simulator merges outboxes in
+// increasing-id order, and reports merge results in scenario order and
+// aggregates in sorted key order — so Report.Canonical() is
+// byte-identical for every worker count.
 package idonly

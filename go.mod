@@ -1,0 +1,3 @@
+module idonly
+
+go 1.24

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d got %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	var calls [257]atomic.Int32
+	Map(8, len(calls), func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Protocol: "nope", Adversary: AdvSilent, N: 7, F: 2, Seed: 1},
+		{Protocol: ProtoConsensus, Adversary: "nope", N: 7, F: 2, Seed: 1},
+		{Protocol: ProtoConsensus, Adversary: AdvSilent, N: 6, F: 2, Seed: 1}, // n = 3f
+		{Protocol: ProtoConsensus, Adversary: AdvSilent, N: 0, F: 0, Seed: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", s)
+		}
+	}
+	ok := Scenario{Protocol: ProtoConsensus, Adversary: AdvSplit, N: 7, F: 2, Seed: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected %+v: %v", ok, err)
+	}
+}
+
+func TestScenarioRunCapturesInvalid(t *testing.T) {
+	res := Scenario{Protocol: "nope", Adversary: AdvSilent, N: 7, Seed: 1}.Run()
+	if res.Err == "" {
+		t.Fatal("invalid scenario produced no error")
+	}
+}
+
+// TestEveryProtocolAdversaryCell runs one scenario per (protocol,
+// adversary) cell and requires a clean outcome: no error, and for the
+// deciding protocols under non-jamming adversaries, termination.
+func TestEveryProtocolAdversaryCell(t *testing.T) {
+	for _, proto := range Protocols() {
+		for _, adv := range Adversaries() {
+			n := 7
+			f := 2
+			if adv == AdvNone {
+				f = 0
+			}
+			res := Scenario{Protocol: proto, Adversary: adv, N: n, F: f, Seed: 3}.Run()
+			if res.Err != "" {
+				t.Fatalf("%s/%s: %s", proto, adv, res.Err)
+			}
+			if res.Output == "" {
+				t.Fatalf("%s/%s: empty output digest", proto, adv)
+			}
+		}
+	}
+}
+
+// TestGridDeterminismAcrossWorkerCounts is the engine's core contract:
+// a ≥100-scenario grid produces byte-identical canonical reports at
+// workers=1 and workers=NumCPU, and with per-round sharding enabled.
+func TestGridDeterminismAcrossWorkerCounts(t *testing.T) {
+	grid, err := PresetGrid("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := grid.Scenarios()
+	if len(specs) < 100 {
+		t.Fatalf("small grid has %d scenarios, want >= 100", len(specs))
+	}
+
+	seq := RunAll(specs, Options{Workers: 1, Grid: "small"})
+	par := RunAll(specs, Options{Workers: runtime.NumCPU(), Grid: "small"})
+	if !bytes.Equal(seq.Canonical(), par.Canonical()) {
+		t.Fatalf("canonical reports differ between workers=1 and workers=%d", runtime.NumCPU())
+	}
+
+	// Per-round sharding inside each runner must not change results
+	// either (sim merges outboxes in increasing-id order).
+	sharded := grid
+	sharded.SimWorkers = 4
+	shr := RunAll(sharded.Scenarios(), Options{Workers: runtime.NumCPU(), Grid: "small"})
+	if !bytes.Equal(seq.Canonical(), shr.Canonical()) {
+		t.Fatal("canonical report differs when sim.Config.Workers = 4")
+	}
+
+	if errs := seq.Errors(); len(errs) != 0 {
+		t.Fatalf("small grid produced %d errors, first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
+	}
+}
+
+func TestPresetGridSizes(t *testing.T) {
+	for name, want := range map[string]int{"small": 120, "medium": 360, "large": 800} {
+		g, err := PresetGrid(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(g.Scenarios()); got != want {
+			t.Fatalf("%s grid: %d scenarios, want %d", name, got, want)
+		}
+	}
+	if _, err := PresetGrid("nope"); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+}
+
+func TestAggregateDeterministicOrder(t *testing.T) {
+	grid, _ := PresetGrid("small")
+	specs := grid.Scenarios()[:40]
+	rep := RunAll(specs, Options{Workers: 4})
+	for i := 1; i < len(rep.Groups); i++ {
+		if !rep.Groups[i-1].Key.less(rep.Groups[i].Key) {
+			t.Fatalf("groups not in sorted key order at %d: %+v >= %+v",
+				i, rep.Groups[i-1].Key, rep.Groups[i].Key)
+		}
+	}
+	var total int
+	for _, g := range rep.Groups {
+		total += g.Count
+	}
+	if total != len(specs) {
+		t.Fatalf("groups cover %d results, want %d", total, len(specs))
+	}
+}
+
+func TestRank(t *testing.T) {
+	// nearest-rank: p50 of 4 samples is the 2nd, p90 the 4th.
+	if got := rank(50, 4); got != 1 {
+		t.Fatalf("rank(50,4) = %d", got)
+	}
+	if got := rank(90, 4); got != 3 {
+		t.Fatalf("rank(90,4) = %d", got)
+	}
+	if got := rank(50, 1); got != 0 {
+		t.Fatalf("rank(50,1) = %d", got)
+	}
+}
+
+func TestReportEmitters(t *testing.T) {
+	grid, _ := PresetGrid("small")
+	rep := RunAll(grid.Scenarios()[:10], Options{Workers: 2, Grid: "small"})
+	var txt bytes.Buffer
+	rep.WriteText(&txt)
+	if !strings.Contains(txt.String(), "grid small") || !strings.Contains(txt.String(), "rbroadcast") {
+		t.Fatalf("text report missing content:\n%s", txt.String())
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"scenarios": 10`) {
+		t.Fatalf("json report missing scenario count:\n%.400s", js.String())
+	}
+}

@@ -1,0 +1,116 @@
+package engine
+
+import "sort"
+
+// Result is the outcome of one scenario run. WallNS is the only
+// non-deterministic field; Report.Canonical zeroes it.
+type Result struct {
+	Scenario          Scenario `json:"scenario"`
+	Rounds            int      `json:"rounds"`
+	MessagesDelivered int64    `json:"messages_delivered"`
+	MessagesDropped   int64    `json:"messages_dropped"`
+	AllDecided        bool     `json:"all_decided"`
+	DecidedRoundMax   int      `json:"decided_round_max"`
+	Output            string   `json:"output"`
+	Err               string   `json:"err,omitempty"`
+	WallNS            int64    `json:"wall_ns,omitempty"`
+}
+
+// GroupKey identifies an aggregation bucket: all seeds of one
+// (protocol, adversary, n, f) cell collapse into one Group.
+type GroupKey struct {
+	Protocol  string `json:"protocol"`
+	Adversary string `json:"adversary"`
+	N         int    `json:"n"`
+	F         int    `json:"f"`
+}
+
+func (k GroupKey) less(o GroupKey) bool {
+	if k.Protocol != o.Protocol {
+		return k.Protocol < o.Protocol
+	}
+	if k.Adversary != o.Adversary {
+		return k.Adversary < o.Adversary
+	}
+	if k.N != o.N {
+		return k.N < o.N
+	}
+	return k.F < o.F
+}
+
+// Group is the aggregate over every seed of one grid cell: round and
+// message percentiles plus decision and error counts.
+type Group struct {
+	Key        GroupKey `json:"key"`
+	Count      int      `json:"count"`
+	Errors     int      `json:"errors"`
+	DecidedAll int      `json:"decided_all"` // runs where every correct node decided
+	RoundsP50  int      `json:"rounds_p50"`
+	RoundsP90  int      `json:"rounds_p90"`
+	RoundsMax  int      `json:"rounds_max"`
+	MsgsP50    int64    `json:"msgs_p50"`
+	MsgsP90    int64    `json:"msgs_p90"`
+	MsgsMax    int64    `json:"msgs_max"`
+}
+
+// Aggregate buckets results by GroupKey and computes per-bucket
+// statistics. The merge order is deterministic: buckets are emitted in
+// sorted key order and percentiles are computed over sorted samples, so
+// the output is independent of the order results were produced in — and
+// therefore of the worker count.
+func Aggregate(results []Result) []Group {
+	buckets := make(map[GroupKey][]Result)
+	for _, r := range results {
+		k := GroupKey{Protocol: r.Scenario.Protocol, Adversary: r.Scenario.Adversary, N: r.Scenario.N, F: r.Scenario.F}
+		buckets[k] = append(buckets[k], r)
+	}
+	keys := make([]GroupKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+
+	groups := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		rs := buckets[k]
+		g := Group{Key: k, Count: len(rs)}
+		var rounds []int
+		var msgs []int64
+		for _, r := range rs {
+			if r.Err != "" {
+				g.Errors++
+				continue
+			}
+			if r.AllDecided {
+				g.DecidedAll++
+			}
+			rounds = append(rounds, r.Rounds)
+			msgs = append(msgs, r.MessagesDelivered)
+		}
+		sort.Ints(rounds)
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+		if len(rounds) > 0 {
+			g.RoundsP50 = rounds[rank(50, len(rounds))]
+			g.RoundsP90 = rounds[rank(90, len(rounds))]
+			g.RoundsMax = rounds[len(rounds)-1]
+			g.MsgsP50 = msgs[rank(50, len(msgs))]
+			g.MsgsP90 = msgs[rank(90, len(msgs))]
+			g.MsgsMax = msgs[len(msgs)-1]
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// rank returns the nearest-rank index of percentile p in a sorted
+// sample of size n.
+func rank(p, n int) int {
+	i := (p*n + 99) / 100 // ceil(p*n/100)
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
+}

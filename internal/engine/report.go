@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report is the outcome of one sweep: per-scenario results in input
+// order plus per-cell aggregates in sorted key order.
+//
+// Workers, ElapsedNS and the per-result WallNS fields describe how fast
+// the sweep ran, not what it computed; Canonical zeroes them so the
+// remaining bytes are identical for any worker count.
+type Report struct {
+	Grid      string   `json:"grid,omitempty"`
+	Scenarios int      `json:"scenarios"`
+	Workers   int      `json:"workers,omitempty"`
+	ElapsedNS int64    `json:"elapsed_ns,omitempty"`
+	Groups    []Group  `json:"groups"`
+	Results   []Result `json:"results"`
+}
+
+// Errors returns the results that failed (validation error or protocol
+// invariant violation).
+func (r *Report) Errors() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Err != "" {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Canonical returns the deterministic JSON form of the report: the full
+// report with every timing field (Workers, ElapsedNS, WallNS) zeroed.
+// Two sweeps of the same scenarios produce byte-identical Canonical
+// output regardless of worker count — this is the determinism contract
+// the engine tests enforce.
+func (r *Report) Canonical() []byte {
+	c := *r
+	c.Workers = 0
+	c.ElapsedNS = 0
+	c.Results = make([]Result, len(r.Results))
+	copy(c.Results, r.Results)
+	for i := range c.Results {
+		c.Results[i].WallNS = 0
+	}
+	b, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("engine: canonical marshal failed: %v", err)) // all fields are marshalable
+	}
+	return append(b, '\n')
+}
+
+// WriteJSON emits the full report, timings included, as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits a human-readable summary: one line per aggregation
+// cell, then any errors, then the timing footer.
+func (r *Report) WriteText(w io.Writer) {
+	if r.Grid != "" {
+		fmt.Fprintf(w, "grid %s: %d scenarios\n", r.Grid, r.Scenarios)
+	} else {
+		fmt.Fprintf(w, "%d scenarios\n", r.Scenarios)
+	}
+	fmt.Fprintf(w, "%-11s %-7s %5s %4s  %5s %8s %8s  %13s %13s  %s\n",
+		"protocol", "adv", "n", "f", "runs", "rnd p50", "rnd max", "msgs p50", "msgs max", "decided")
+	for _, g := range r.Groups {
+		fmt.Fprintf(w, "%-11s %-7s %5d %4d  %5d %8d %8d  %13d %13d  %d/%d\n",
+			g.Key.Protocol, g.Key.Adversary, g.Key.N, g.Key.F,
+			g.Count, g.RoundsP50, g.RoundsMax, g.MsgsP50, g.MsgsMax,
+			g.DecidedAll, g.Count)
+	}
+	for _, e := range r.Errors() {
+		fmt.Fprintf(w, "ERROR %s: %s\n", e.Scenario.Name, e.Err)
+	}
+	if r.ElapsedNS > 0 {
+		fmt.Fprintf(w, "elapsed %v with %d workers\n",
+			time.Duration(r.ElapsedNS).Round(time.Millisecond), r.Workers)
+	}
+}

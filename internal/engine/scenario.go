@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"idonly/internal/adversary"
+	"idonly/internal/core/approx"
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/parallel"
+	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// Protocol names accepted by Scenario.Protocol.
+const (
+	ProtoRBroadcast = "rbroadcast" // Algorithm 1, reliable broadcast
+	ProtoRotor      = "rotor"      // Algorithm 2, rotor-coordinator
+	ProtoConsensus  = "consensus"  // Algorithm 3, id-only consensus
+	ProtoApprox     = "approx"     // Algorithm 4, iterated approximate agreement
+	ProtoParallel   = "parallel"   // Algorithm 5, parallel consensus
+)
+
+// Adversary names accepted by Scenario.Adversary. "split" resolves to
+// the strongest value-targeting strategy for the scenario's protocol
+// (ConsSplit, ParaSplit, ApproxOutlier, RotorHidden, RBForgeSource).
+const (
+	AdvNone   = "none"   // f = 0, no faulty nodes at all
+	AdvSilent = "silent" // faulty nodes never send
+	AdvSplit  = "split"  // protocol-specific value-targeting attack
+	AdvChaos  = "chaos"  // seeded random fuzzing payloads
+	AdvReplay = "replay" // echo the previous round's inbox back
+)
+
+// Protocols returns every protocol name in canonical order.
+func Protocols() []string {
+	return []string{ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel}
+}
+
+// Adversaries returns every adversary name in canonical order.
+func Adversaries() []string {
+	return []string{AdvNone, AdvSilent, AdvSplit, AdvChaos, AdvReplay}
+}
+
+// Scenario is one declarative simulation run: a protocol, an adversary
+// strategy, a system size, and a seed. Running it builds a fresh
+// sim.Runner over freshly constructed nodes whose randomness all
+// derives from Seed, so a Scenario is a pure value: Run is
+// deterministic and safe to execute concurrently with other scenarios.
+type Scenario struct {
+	Name      string `json:"name"`
+	Protocol  string `json:"protocol"`
+	Adversary string `json:"adversary"`
+	N         int    `json:"n"`               // total nodes (correct + faulty)
+	F         int    `json:"f"`               // faulty nodes; 0 forced when Adversary == "none"
+	Seed      uint64 `json:"seed"`            // all scenario randomness derives from this
+	MaxRounds int    `json:"max_rounds"`      // 0 means a protocol-specific default
+	Pairs     int    `json:"pairs,omitempty"` // parallel consensus width; 0 means 4
+
+	// SimWorkers is passed to sim.Config.Workers: > 1 shards each
+	// round's Step calls inside the single run. It never changes
+	// results (the sim merges outboxes in increasing-id order), so it is
+	// excluded from the canonical report.
+	SimWorkers int `json:"-"`
+}
+
+// withDefaults resolves zero fields to their protocol defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Adversary == AdvNone {
+		s.F = 0
+	}
+	if s.Pairs <= 0 {
+		s.Pairs = 4
+	}
+	if s.MaxRounds <= 0 {
+		switch s.Protocol {
+		case ProtoRBroadcast:
+			s.MaxRounds = 12
+		case ProtoRotor:
+			s.MaxRounds = 10 * s.N
+		case ProtoApprox:
+			s.MaxRounds = 14
+		case ProtoParallel:
+			s.MaxRounds = 80 * (s.F + 2)
+		default:
+			s.MaxRounds = 60 * (s.F + 2)
+		}
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("%s/%s/n=%d/f=%d/seed=%d", s.Protocol, s.Adversary, s.N, s.F, s.Seed)
+	}
+	return s
+}
+
+// Validate reports whether the scenario is well formed.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	switch s.Protocol {
+	case ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel:
+	default:
+		return fmt.Errorf("engine: unknown protocol %q", s.Protocol)
+	}
+	switch s.Adversary {
+	case AdvNone, AdvSilent, AdvSplit, AdvChaos, AdvReplay:
+	default:
+		return fmt.Errorf("engine: unknown adversary %q", s.Adversary)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("engine: scenario %q has n = %d", s.Name, s.N)
+	}
+	if s.F < 0 || s.N <= 3*s.F {
+		return fmt.Errorf("engine: scenario %q violates n > 3f (n=%d, f=%d)", s.Name, s.N, s.F)
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its result. A protocol
+// invariant violation (the node implementations panic on agreement or
+// validity breaks — the runs double as checkers) is captured into
+// Result.Err rather than unwinding the worker pool.
+func (s Scenario) Run() (res Result) {
+	s = s.withDefaults()
+	res.Scenario = s
+	start := time.Now()
+	defer func() {
+		res.WallNS = time.Since(start).Nanoseconds()
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprint(p)
+		}
+	}()
+	if err := s.Validate(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	rng := ids.NewRand(s.Seed)
+	all := ids.Sparse(rng, s.N)
+	correct := all[:s.N-s.F]
+	faulty := all[s.N-s.F:]
+
+	procs, digest, stopDecided := buildProtocol(s, correct)
+	var adv sim.Adversary
+	if len(faulty) > 0 {
+		adv = buildAdversary(s, all, correct, rng)
+	}
+	run := sim.NewRunner(sim.Config{
+		MaxRounds:          s.MaxRounds,
+		StopWhenAllDecided: stopDecided,
+		Workers:            s.SimWorkers,
+	}, procs, faulty, adv)
+	m := run.Run(nil)
+
+	res.Rounds = m.Rounds
+	res.MessagesDelivered = m.MessagesDelivered
+	res.MessagesDropped = m.MessagesDropped
+	res.AllDecided = true
+	for _, p := range procs {
+		if !p.Decided() {
+			res.AllDecided = false
+		}
+	}
+	for _, r := range m.DecidedRound {
+		if r > res.DecidedRoundMax {
+			res.DecidedRoundMax = r
+		}
+	}
+	res.Output = digest()
+	return res
+}
+
+// buildProtocol constructs the correct processes for the scenario and
+// returns them with a digest function (a deterministic one-line summary
+// of the protocol outcome, evaluated after the run) and whether the
+// runner should stop once all nodes decided.
+func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, bool) {
+	switch s.Protocol {
+	case ProtoRBroadcast:
+		var nodes []*rbroadcast.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := rbroadcast.New(id, i == 0, "m")
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		src := correct[0]
+		return procs, func() string {
+			accepted, maxRound, forged := 0, 0, 0
+			for _, nd := range nodes {
+				if r, ok := nd.Accepted("m", src); ok {
+					accepted++
+					if r > maxRound {
+						maxRound = r
+					}
+				}
+				if _, ok := nd.Accepted("forged", src); ok {
+					forged++
+				}
+			}
+			return fmt.Sprintf("accepted=%d/%d maxRound=%d forged=%d", accepted, len(nodes), maxRound, forged)
+		}, false
+
+	case ProtoRotor:
+		var nodes []*rotor.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := rotor.New(id, float64(i))
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		return procs, func() string {
+			term := 0
+			for _, nd := range nodes {
+				if nd.DoneRound() > term {
+					term = nd.DoneRound()
+				}
+			}
+			return fmt.Sprintf("term=%d", term)
+		}, true
+
+	case ProtoConsensus:
+		var nodes []*consensus.Node
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := consensus.New(id, float64(i%2))
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		return procs, func() string {
+			phases, decidedRound := 0, 0
+			for _, nd := range nodes {
+				if !nd.Decided() {
+					return "undecided"
+				}
+				if nd.Value() != nodes[0].Value() {
+					panic("engine: consensus agreement violated")
+				}
+				if nd.Phases() > phases {
+					phases = nd.Phases()
+				}
+				if nd.DecidedRound() > decidedRound {
+					decidedRound = nd.DecidedRound()
+				}
+			}
+			return fmt.Sprintf("value=%s phases=%d decidedRound=%d",
+				strconv.FormatFloat(nodes[0].Value(), 'g', -1, 64), phases, decidedRound)
+		}, true
+
+	case ProtoApprox:
+		const iterations = 8
+		var nodes []*approx.Iterated
+		var procs []sim.Process
+		for i, id := range correct {
+			nd := approx.NewIterated(id, float64(i)*100/float64(max(len(correct)-1, 1)), iterations)
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		return procs, func() string {
+			lo, hi := nodes[0].Value(), nodes[0].Value()
+			for _, nd := range nodes {
+				if nd.Value() < lo {
+					lo = nd.Value()
+				}
+				if nd.Value() > hi {
+					hi = nd.Value()
+				}
+			}
+			return fmt.Sprintf("range=%s", strconv.FormatFloat(hi-lo, 'g', 6, 64))
+		}, true
+
+	case ProtoParallel:
+		var nodes []*parallel.Node
+		var procs []sim.Process
+		for _, id := range correct {
+			inputs := make(map[parallel.PairID]parallel.Val, s.Pairs)
+			for p := 0; p < s.Pairs; p++ {
+				inputs[parallel.PairID(p+1)] = parallel.V(fmt.Sprintf("v%d", p))
+			}
+			nd := parallel.NewNode(id, inputs)
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		return procs, func() string {
+			out := nodes[0].Outputs()
+			for _, nd := range nodes[1:] {
+				other := nd.Outputs()
+				if len(other) != len(out) {
+					panic("engine: parallel consensus agreement violated")
+				}
+				for k, v := range out {
+					if other[k] != v {
+						panic("engine: parallel consensus agreement violated")
+					}
+				}
+			}
+			keys := make([]int, 0, len(out))
+			for k := range out {
+				keys = append(keys, int(k))
+			}
+			sort.Ints(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%d=%v", k, out[parallel.PairID(k)]))
+			}
+			return "pairs{" + strings.Join(parts, ",") + "}"
+		}, true
+	}
+	panic("engine: buildProtocol on unvalidated scenario")
+}
+
+// buildAdversary resolves the scenario's adversary name to a concrete
+// strategy. "split" picks the strongest value-targeting attack known
+// for the protocol. rng is the scenario's own generator (already
+// advanced past id generation), so seeded adversaries stay per-scenario
+// deterministic.
+func buildAdversary(s Scenario, all, correct []ids.ID, rng *ids.Rand) sim.Adversary {
+	switch s.Adversary {
+	case AdvSilent:
+		return adversary.Silent{}
+	case AdvReplay:
+		return adversary.Replay{}
+	case AdvChaos:
+		return adversary.NewChaos(rng.Uint64(), all)
+	case AdvSplit:
+		switch s.Protocol {
+		case ProtoRBroadcast:
+			return adversary.RBForgeSource{FakeM: "forged", FakeS: correct[0]}
+		case ProtoRotor:
+			per := make(map[ids.ID]sim.Adversary)
+			faulty := all[len(correct):]
+			for i, id := range faulty {
+				per[id] = &adversary.RotorHidden{Subset: correct[:1+i%len(correct)], All: all, X1: -1, X2: -2}
+			}
+			return adversary.Compose{PerNode: per}
+		case ProtoConsensus:
+			return adversary.ConsSplit{X1: 0, X2: 1, All: all}
+		case ProtoApprox:
+			return adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
+		case ProtoParallel:
+			return adversary.ParaSplit{Pair: 1, X1: parallel.V("a"), X2: parallel.V("b"), All: all}
+		}
+	}
+	panic(fmt.Sprintf("engine: buildAdversary(%q, %q) on unvalidated scenario", s.Adversary, s.Protocol))
+}
+
+// Grid declares a cross product of scenarios: every protocol × every
+// adversary × every size × every seed. The fault count is the maximum
+// the resiliency bound allows, f = ⌊(n-1)/3⌋ (0 for the "none"
+// adversary).
+type Grid struct {
+	Name        string   `json:"name"`
+	Protocols   []string `json:"protocols"`
+	Adversaries []string `json:"adversaries"`
+	Sizes       []int    `json:"sizes"`
+	Seeds       []uint64 `json:"seeds"`
+	MaxRounds   int      `json:"max_rounds,omitempty"` // 0 = per-protocol default
+	SimWorkers  int      `json:"-"`
+}
+
+// Scenarios expands the grid in deterministic order: protocol-major,
+// then adversary, size, seed.
+func (g Grid) Scenarios() []Scenario {
+	var specs []Scenario
+	for _, proto := range g.Protocols {
+		for _, adv := range g.Adversaries {
+			for _, n := range g.Sizes {
+				f := (n - 1) / 3
+				if adv == AdvNone {
+					f = 0
+				}
+				for _, seed := range g.Seeds {
+					specs = append(specs, Scenario{
+						Protocol:   proto,
+						Adversary:  adv,
+						N:          n,
+						F:          f,
+						Seed:       seed,
+						MaxRounds:  g.MaxRounds,
+						SimWorkers: g.SimWorkers,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// seedRange returns [1, n].
+func seedRange(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// PresetGrid returns one of the named benchmark grids: "small" (120
+// scenarios), "medium" (360) or "large" (800).
+func PresetGrid(name string) (Grid, error) {
+	switch name {
+	case "small":
+		return Grid{
+			Name:        "small",
+			Protocols:   Protocols(),
+			Adversaries: []string{AdvSilent, AdvSplit},
+			Sizes:       []int{7, 13},
+			Seeds:       seedRange(6),
+		}, nil
+	case "medium":
+		return Grid{
+			Name:        "medium",
+			Protocols:   Protocols(),
+			Adversaries: []string{AdvSilent, AdvSplit, AdvChaos},
+			Sizes:       []int{7, 13, 31},
+			Seeds:       seedRange(8),
+		}, nil
+	case "large":
+		return Grid{
+			Name:        "large",
+			Protocols:   Protocols(),
+			Adversaries: []string{AdvSilent, AdvSplit, AdvChaos, AdvReplay},
+			Sizes:       []int{7, 13, 31, 61},
+			Seeds:       seedRange(10),
+		}, nil
+	}
+	return Grid{}, fmt.Errorf("engine: unknown grid %q (want small, medium or large)", name)
+}

@@ -30,13 +30,17 @@ func E10(seed uint64) []Table {
 		Claim:   "without the substitution rule, laggards livelock once the first node decides and goes silent",
 		Columns: []string{"variant", "decided nodes", "correct nodes", "rounds used", "round cap"},
 	}
-	for _, noSub := range []bool{false, true} {
+	aRows := pmap(2, func(i int) []any {
+		noSub := i == 1
 		decided, g, rounds, cap := substitutionRun(seed, noSub)
 		name := "Algorithm 3 (with substitution)"
 		if noSub {
 			name = "ablated (no substitution)"
 		}
-		a.Row(name, decided, g, rounds, cap)
+		return []any{name, decided, g, rounds, cap}
+	})
+	for _, r := range aRows {
+		a.Row(r...)
 	}
 
 	b := Table{
@@ -45,13 +49,17 @@ func E10(seed uint64) []Table {
 		Claim:   "within-round duplicate filtering absorbs replays; outcome unchanged",
 		Columns: []string{"adversary", "delivered", "dropped dup", "accepted by all"},
 	}
-	for _, replay := range []bool{false, true} {
+	bRows := pmap(2, func(i int) []any {
+		replay := i == 1
 		delivered, dropped, ok := replayRun(seed, 10, 3, replay)
 		name := "silent"
 		if replay {
 			name = "replay-flood"
 		}
-		b.Row(name, delivered, dropped, ok)
+		return []any{name, delivered, dropped, ok}
+	})
+	for _, r := range bRows {
+		b.Row(r...)
 	}
 
 	c := Table{
@@ -134,7 +142,7 @@ func replayRun(seed uint64, n, f int, replay bool) (delivered, dropped int64, al
 
 func stForgeViolations(seed uint64, n, f, seeds int) int {
 	violations := 0
-	for s := 0; s < seeds; s++ {
+	for _, v := range pmap(seeds, func(s int) bool {
 		rng := ids.NewRand(seed + uint64(3000*n+s))
 		all := ids.Sparse(rng, n)
 		correct := all[:n-f]
@@ -152,9 +160,13 @@ func stForgeViolations(seed uint64, n, f, seeds int) int {
 		run.Run(nil)
 		for _, nd := range nodes {
 			if _, ok := nd.Accepted("forged", victim); ok {
-				violations++
-				break
+				return true
 			}
+		}
+		return false
+	}) {
+		if v {
+			violations++
 		}
 	}
 	return violations

@@ -26,8 +26,10 @@ func E6(seed uint64) []Table {
 		Columns: []string{"iteration", "idonly range", "known-f range", "idonly factor", "known-f factor"},
 	}
 	iters := 10
-	ioRanges := approxRanges(seed, 10, 3, iters, false)
-	kfRanges := approxRanges(seed, 10, 3, iters, true)
+	ranges := pmap(2, func(i int) []float64 {
+		return approxRanges(seed, 10, 3, iters, i == 1)
+	})
+	ioRanges, kfRanges := ranges[0], ranges[1]
 	prevIO, prevKF := ioRanges[0], kfRanges[0]
 	for k := 1; k <= iters; k++ {
 		fio := ioRanges[k] / math.Max(prevIO, 1e-300)
@@ -42,11 +44,16 @@ func E6(seed uint64) []Table {
 		Claim:   "log2(spread/ε) iterations, identical for id-only and known-f (§XII)",
 		Columns: []string{"initial spread", "idonly iters", "known-f iters", "log2 bound"},
 	}
-	for _, k := range []int{4, 8, 12, 16} {
+	ks := []int{4, 8, 12, 16}
+	rows := pmap(len(ks), func(i int) []any {
+		k := ks[i]
 		spread := math.Pow(2, float64(k))
 		io := itersToEps(seed, 10, 3, spread, false)
 		kf := itersToEps(seed, 10, 3, spread, true)
-		toEps.Row(spread, io, kf, k)
+		return []any{spread, io, kf, k}
+	})
+	for _, r := range rows {
+		toEps.Row(r...)
 	}
 	return []Table{contraction, toEps}
 }

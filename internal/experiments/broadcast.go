@@ -25,7 +25,9 @@ func E1(seed uint64) []Table {
 		Columns: []string{"n", "f", "idonly accept rnd", "ST accept rnd",
 			"idonly msgs", "ST msgs", "msg ratio"},
 	}
-	for _, n := range []int{4, 7, 13, 31, 61, 100} {
+	sizes := []int{4, 7, 13, 31, 61, 100}
+	rows := pmap(len(sizes), func(i int) []any {
+		n := sizes[i]
 		f := (n - 1) / 3
 		rng := ids.NewRand(seed + uint64(n))
 		all := ids.Sparse(rng, n)
@@ -73,7 +75,10 @@ func E1(seed uint64) []Table {
 		ioMsgs := ioRun.Metrics().MessagesDelivered
 		stMsgs := stRun.Metrics().MessagesDelivered
 		ratio := float64(ioMsgs) / float64(maxInt(int(stMsgs), 1))
-		t.Row(n, f, ioRound, stRound, ioMsgs, stMsgs, ratio)
+		return []any{n, f, ioRound, stRound, ioMsgs, stMsgs, ratio}
+	})
+	for _, r := range rows {
+		t.Row(r...)
 	}
 	return []Table{t}
 }
@@ -91,19 +96,25 @@ func E2(seed uint64) []Table {
 		Columns: []string{"f", "n=3f+1 violations", "n=3f violations", "seeds"},
 	}
 	const seeds = 10
-	for _, f := range []int{1, 2, 3, 4, 5} {
+	fs := []int{1, 2, 3, 4, 5}
+	rows := pmap(len(fs), func(i int) []any {
+		f := fs[i]
 		safe := forgeViolations(seed, 3*f+1, f, seeds)
 		tight := forgeViolations(seed, 3*f, f, seeds)
-		t.Row(f, safe, tight, seeds)
+		return []any{f, safe, tight, seeds}
+	})
+	for _, r := range rows {
+		t.Row(r...)
 	}
 	return []Table{t}
 }
 
 // forgeViolations counts, over the given number of seeds, runs in
-// which some correct node accepted the forged key.
+// which some correct node accepted the forged key. The seeds fan out
+// across the engine pool; each run derives its ids from its own seed.
 func forgeViolations(seed uint64, n, f, seeds int) int {
 	violations := 0
-	for s := 0; s < seeds; s++ {
+	for _, v := range pmap(seeds, func(s int) bool {
 		rng := ids.NewRand(seed + uint64(1000*n+s))
 		all := ids.Sparse(rng, n)
 		correct := all[:n-f]
@@ -121,9 +132,13 @@ func forgeViolations(seed uint64, n, f, seeds int) int {
 		run.Run(nil)
 		for _, nd := range nodes {
 			if _, ok := nd.Accepted("forged", victim); ok {
-				violations++
-				break
+				return true
 			}
+		}
+		return false
+	}) {
+		if v {
+			violations++
 		}
 	}
 	return violations

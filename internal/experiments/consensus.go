@@ -19,7 +19,9 @@ func E4(seed uint64) []Table {
 		Columns: []string{"f", "n", "unanimous rounds", "split rounds (max)",
 			"split phases (max)", "messages"},
 	}
-	for _, f := range []int{1, 2, 3, 4, 6, 8, 10} {
+	fs := []int{1, 2, 3, 4, 6, 8, 10}
+	rows := pmap(len(fs), func(i int) []any {
+		f := fs[i]
 		n := 3*f + 1
 		// unanimous
 		uniRounds, _, _ := consensusRun(seed, n, f, func(int) float64 { return 1 },
@@ -27,7 +29,10 @@ func E4(seed uint64) []Table {
 		// split under attack
 		splitRounds, splitPhases, msgs := consensusRun(seed, n, f, func(i int) float64 { return float64(i % 2) },
 			func(all []ids.ID) sim.Adversary { return adversary.ConsSplit{X1: 0, X2: 1, All: all} })
-		t.Row(f, n, uniRounds, splitRounds, splitPhases, msgs)
+		return []any{f, n, uniRounds, splitRounds, splitPhases, msgs}
+	})
+	for _, r := range rows {
+		t.Row(r...)
 	}
 	return []Table{t}
 }
@@ -82,13 +87,18 @@ func E5(seed uint64) []Table {
 		Columns: []string{"n", "f", "idonly rounds", "king rounds",
 			"idonly msgs", "king msgs", "msg ratio"},
 	}
-	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {13, 4}, {19, 6}, {25, 8}} {
+	cases := []struct{ n, f int }{{4, 1}, {7, 2}, {13, 4}, {19, 6}, {25, 8}}
+	rows := pmap(len(cases), func(i int) []any {
+		tc := cases[i]
 		ioRounds, _, ioMsgs := consensusRun(seed, tc.n, tc.f,
 			func(i int) float64 { return float64(i % 2) },
 			func(all []ids.ID) sim.Adversary { return adversary.ConsSplit{X1: 0, X2: 1, All: all} })
 		kRounds, kMsgs := kingRun(seed, tc.n, tc.f)
-		t.Row(tc.n, tc.f, ioRounds, kRounds, ioMsgs, kMsgs,
-			float64(ioMsgs)/float64(maxInt(int(kMsgs), 1)))
+		return []any{tc.n, tc.f, ioRounds, kRounds, ioMsgs, kMsgs,
+			float64(ioMsgs) / float64(maxInt(int(kMsgs), 1))}
+	})
+	for _, r := range rows {
+		t.Row(r...)
 	}
 	return []Table{t}
 }

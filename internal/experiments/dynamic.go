@@ -22,28 +22,33 @@ func E9(seed uint64) []Table {
 			"finality lag", "bound ⌊5|S|/2⌋+3", "harvest gaps"},
 	}
 
-	// scenario 1: static founders, events every round
-	{
-		nodes, lag := dynamicRun(seed, 4, 0, 60, false, false, nil)
-		t.Row("static n=4, f=0", 60, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*4/2+3, harvestGaps(nodes))
+	scenarios := []func() []any{
+		// scenario 1: static founders, events every round
+		func() []any {
+			nodes, lag := dynamicRun(seed, 4, 0, 60, false, false, nil)
+			return []any{"static n=4, f=0", 60, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*4/2 + 3, harvestGaps(nodes)}
+		},
+		// scenario 2: Byzantine event equivocator
+		func() []any {
+			rng := ids.NewRand(seed)
+			all := ids.Sparse(rng, 7)
+			adv := adversary.DynEquivEvent{All: all, Every: 2}
+			nodes, lag := dynamicRunWith(seed, all, 2, 80, false, false, adv)
+			return []any{"n=7, f=2 equivocating events", 80, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*7/2 + 3, harvestGaps(nodes)}
+		},
+		// scenario 3: join at round 10
+		func() []any {
+			nodes, lag := dynamicRun(seed, 4, 0, 70, true, false, nil)
+			return []any{"n=4 + join@10", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2 + 3, harvestGaps(nodes)}
+		},
+		// scenario 4: leave at round 12
+		func() []any {
+			nodes, lag := dynamicRun(seed, 5, 0, 70, false, true, nil)
+			return []any{"n=5 - leave@12", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2 + 3, harvestGaps(nodes)}
+		},
 	}
-	// scenario 2: Byzantine event equivocator
-	{
-		rng := ids.NewRand(seed)
-		all := ids.Sparse(rng, 7)
-		adv := adversary.DynEquivEvent{All: all, Every: 2}
-		nodes, lag := dynamicRunWith(seed, all, 2, 80, false, false, adv)
-		t.Row("n=7, f=2 equivocating events", 80, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*7/2+3, harvestGaps(nodes))
-	}
-	// scenario 3: join at round 10
-	{
-		nodes, lag := dynamicRun(seed, 4, 0, 70, true, false, nil)
-		t.Row("n=4 + join@10", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2+3, harvestGaps(nodes))
-	}
-	// scenario 4: leave at round 12
-	{
-		nodes, lag := dynamicRun(seed, 5, 0, 70, false, true, nil)
-		t.Row("n=5 - leave@12", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2+3, harvestGaps(nodes))
+	for _, r := range pmap(len(scenarios), func(i int) []any { return scenarios[i]() }) {
+		t.Row(r...)
 	}
 	return []Table{t}
 }

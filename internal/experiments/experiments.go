@@ -14,7 +14,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+
+	"idonly/internal/engine"
 )
 
 // Table is one regenerated table or figure-series.
@@ -94,6 +97,19 @@ func All() []Experiment {
 		{"E9", "dynamic total ordering under churn", E9},
 		{"E10", "ablations (substitution rule, dedup, thresholds)", E10},
 	}
+}
+
+// Parallelism is the worker-pool width every sweep below fans its
+// independent runs across (via the engine's deterministic parallel
+// map). Each run seeds its own ids.Rand and results are assembled in
+// index order, so the tables are byte-identical for any value; the
+// default uses every core. cmd/idonly-bench overrides it with -workers.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// pmap fans fn(0..n-1) across the engine worker pool and returns the
+// results in index order.
+func pmap[T any](n int, fn func(i int) T) []T {
+	return engine.Map(Parallelism, n, fn)
 }
 
 // maxInt is a tiny helper (no generics needed for two ints).

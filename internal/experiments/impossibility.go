@@ -34,12 +34,14 @@ func E7(seed uint64) []Table {
 		lo    float64
 		hi    float64
 	}
-	for _, m := range []model{
+	models := []model{
 		{"uniform [0.4, 0.5] (2·min > max)", 0, 0.4, 0.5},
 		{"uniform [0.1, 1.0]", 0, 0.1, 1.0},
 		{"uniform [0.01, 5.0]", 0, 0.01, 5.0},
 		{"partition, cross = ∞", -1, 0.5, 0.5},
-	} {
+	}
+	aRows := pmap(len(models), func(mi int) []any {
+		m := models[mi]
 		dis, und := 0, 0
 		for s := 0; s < runs; s++ {
 			rng := ids.NewRand(seed + uint64(s))
@@ -86,7 +88,10 @@ func E7(seed uint64) []Table {
 				und++
 			}
 		}
-		a.Row(m.name, runs, dis, und)
+		return []any{m.name, runs, dis, und}
+	})
+	for _, r := range aRows {
+		a.Row(r...)
 	}
 
 	b := Table{
@@ -95,7 +100,9 @@ func E7(seed uint64) []Table {
 		Claim:   "agreement iff the unknown Δ is within the guessed horizon",
 		Columns: []string{"true Δ (cross)", "horizon 2·T̂", "agreed", "disagreed"},
 	}
-	for _, delta := range []float64{0.5, 1.0, 2.0, 3.9, 4.1, 8.0, 100.0} {
+	deltas := []float64{0.5, 1.0, 2.0, 3.9, 4.1, 8.0, 100.0}
+	bRows := pmap(len(deltas), func(di int) []any {
+		delta := deltas[di]
 		agreed, disagreed := 0, 0
 		for s := 0; s < runs; s++ {
 			rng := ids.NewRand(seed + uint64(300+s))
@@ -131,7 +138,10 @@ func E7(seed uint64) []Table {
 				agreed++
 			}
 		}
-		b.Row(delta, 4.0, agreed, disagreed)
+		return []any{delta, 4.0, agreed, disagreed}
+	})
+	for _, r := range bRows {
+		b.Row(r...)
 	}
 	return []Table{a, b}
 }

@@ -22,9 +22,14 @@ func E8(seed uint64) []Table {
 		Claim:   "termination rounds independent of k; message cost linear in k (Theorem 5)",
 		Columns: []string{"k", "rounds", "messages", "msgs/pair", "pairs output"},
 	}
-	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+	ks := []int{1, 2, 4, 8, 16, 32, 64}
+	rows := pmap(len(ks), func(i int) []any {
+		k := ks[i]
 		rounds, msgs, outputs := parallelRun(seed, 7, 2, k)
-		scale.Row(k, rounds, msgs, float64(msgs)/float64(k), outputs)
+		return []any{k, rounds, msgs, float64(msgs) / float64(k), outputs}
+	})
+	for _, r := range rows {
+		scale.Row(r...)
 	}
 
 	ghost := Table{
@@ -35,18 +40,25 @@ func E8(seed uint64) []Table {
 	}
 	names := []string{"input@B", "prefer@C", "strongprefer@D"}
 	const runs = 10
-	for kind := 0; kind <= 2; kind++ {
-		ghostOut, intact := 0, 0
-		for s := 0; s < runs; s++ {
+	ghostRows := pmap(3, func(kind int) []any {
+		type out struct{ ok, g bool }
+		outs := pmap(runs, func(s int) out {
 			ok, g := ghostRun(seed+uint64(s), kind)
-			if g {
+			return out{ok, g}
+		})
+		ghostOut, intact := 0, 0
+		for _, o := range outs {
+			if o.g {
 				ghostOut++
 			}
-			if ok {
+			if o.ok {
 				intact++
 			}
 		}
-		ghost.Row(names[kind], runs, ghostOut, intact)
+		return []any{names[kind], runs, ghostOut, intact}
+	})
+	for _, r := range ghostRows {
+		ghost.Row(r...)
 	}
 	return []Table{scale, ghost}
 }

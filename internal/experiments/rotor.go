@@ -20,17 +20,28 @@ func E3(seed uint64) []Table {
 		Columns: []string{"n", "f", "max term round", "bound n+3", "good-round runs", "seeds"},
 	}
 	const seeds = 8
-	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {13, 4}, {22, 7}, {31, 10}, {61, 20}} {
-		maxTerm := 0
-		good := 0
-		for s := 0; s < seeds; s++ {
+	cases := []struct{ n, f int }{{4, 1}, {7, 2}, {13, 4}, {22, 7}, {31, 10}, {61, 20}}
+	rows := pmap(len(cases), func(i int) []any {
+		tc := cases[i]
+		type out struct {
+			term int
+			good bool
+		}
+		runs := pmap(seeds, func(s int) out {
 			term, ok := rotorRun(seed+uint64(s), tc.n, tc.f)
-			maxTerm = maxInt(maxTerm, term)
-			if ok {
+			return out{term, ok}
+		})
+		maxTerm, good := 0, 0
+		for _, r := range runs {
+			maxTerm = maxInt(maxTerm, r.term)
+			if r.good {
 				good++
 			}
 		}
-		t.Row(tc.n, tc.f, maxTerm, tc.n+3, good, seeds)
+		return []any{tc.n, tc.f, maxTerm, tc.n + 3, good, seeds}
+	})
+	for _, r := range rows {
+		t.Row(r...)
 	}
 	return []Table{t}
 }

@@ -1,0 +1,87 @@
+// Sharded round execution: the parallel fast path behind
+// Config.Workers.
+//
+// The synchronous model makes this safe and exact: within a round every
+// process reads only its own state and the inbox snapshot taken at the
+// start of the round, so the Step calls of distinct correct processes
+// are independent and can run on any goroutine in any order. Everything
+// order-sensitive — adversary steps (the adversary is one shared object
+// across all faulty nodes), message delivery, duplicate filtering,
+// observer callbacks, metrics — is replayed by StepRound in increasing
+// id order exactly as the sequential schedule would, so a run with
+// Workers = k is bit-identical to a run with Workers = 1.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"idonly/internal/ids"
+)
+
+// stepOut is the precomputed outcome of one correct process's Step.
+type stepOut struct {
+	sends         []Send
+	decidedBefore bool // process had decided before this round; Step not called
+}
+
+// shardSteps fans the Step calls of all correct, undecided processes in
+// actives across cfg.Workers goroutines and returns their outboxes
+// indexed by position in actives. Faulty positions are left zero (the
+// adversary is stepped sequentially by the caller). Every inbox —
+// including the faulty nodes' — is sorted here, so the caller must not
+// sort again. Work is handed out via an atomic counter rather than
+// fixed chunks, so uneven per-node costs (one slow protocol instance)
+// do not stall a whole shard.
+func (r *Runner) shardSteps(actives []ids.ID, inboxes map[ids.ID][]Message, round int) []stepOut {
+	out := make([]stepOut, len(actives))
+	workers := r.cfg.Workers
+	if workers > len(actives) {
+		workers = len(actives)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// A Step panic (the protocols panic on invariant violations) must
+	// not die on a shard goroutine — an unrecovered goroutine panic
+	// aborts the whole process and callers like the engine rely on
+	// recovering it. Capture per-index and re-raise the lowest-index
+	// panic on the calling goroutine, matching the sequential schedule.
+	panics := make([]any, len(actives))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(actives) {
+					return
+				}
+				func() {
+					defer func() { panics[i] = recover() }()
+					id := actives[i]
+					inbox := inboxes[id]
+					sortInbox(inbox)
+					if r.faulty[id] {
+						return
+					}
+					p := r.procs[id]
+					if p.Decided() {
+						out[i].decidedBefore = true
+						return
+					}
+					out[i].sends = p.Step(round, inbox)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return out
+}

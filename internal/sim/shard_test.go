@@ -1,0 +1,197 @@
+package sim_test
+
+// Determinism of the sharded round fast path: for every core protocol,
+// a run with Config.Workers = 8 must be bit-identical to the sequential
+// run — same metrics, same per-round observer trace, same final node
+// outputs.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"idonly/internal/adversary"
+	"idonly/internal/core/approx"
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/dynamic"
+	"idonly/internal/core/parallel"
+	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// trace runs one system and returns its observer trace, final outputs
+// (in increasing id order) and metrics.
+type buildFn func(cfg sim.Config) (*sim.Runner, []sim.Process)
+
+func runTraced(t *testing.T, workers int, maxRounds int, stopDecided bool, build buildFn) (string, string, sim.Metrics) {
+	t.Helper()
+	var tr []string
+	cfg := sim.Config{
+		MaxRounds:          maxRounds,
+		StopWhenAllDecided: stopDecided,
+		Workers:            workers,
+		Observer: func(round int, from ids.ID, sends []sim.Send) {
+			tr = append(tr, fmt.Sprintf("r%d %d %v", round, from, sends))
+		},
+	}
+	run, procs := build(cfg)
+	m := run.Run(nil)
+	var outs []string
+	for _, p := range procs {
+		outs = append(outs, fmt.Sprintf("%d=%v", p.ID(), p.Output()))
+	}
+	return fmt.Sprint(tr), fmt.Sprint(outs), m
+}
+
+func checkShardMatchesSequential(t *testing.T, maxRounds int, stopDecided bool, build buildFn) {
+	t.Helper()
+	seqTrace, seqOut, seqM := runTraced(t, 1, maxRounds, stopDecided, build)
+	parTrace, parOut, parM := runTraced(t, 8, maxRounds, stopDecided, build)
+	if seqTrace != parTrace {
+		t.Fatalf("observer trace diverged between workers=1 and workers=8:\nseq: %.400s\npar: %.400s", seqTrace, parTrace)
+	}
+	if seqOut != parOut {
+		t.Fatalf("final outputs diverged:\nseq: %s\npar: %s", seqOut, parOut)
+	}
+	if !reflect.DeepEqual(seqM, parM) {
+		t.Fatalf("metrics diverged:\nseq: %+v\npar: %+v", seqM, parM)
+	}
+}
+
+func split(rng *ids.Rand, n, f int) (all, correct, faulty []ids.ID) {
+	all = ids.Sparse(rng, n)
+	return all, all[:n-f], all[n-f:]
+}
+
+func TestShardedReliableBroadcast(t *testing.T) {
+	checkShardMatchesSequential(t, 12, false, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		_, correct, faulty := split(ids.NewRand(11), 13, 4)
+		var procs []sim.Process
+		for i, id := range correct {
+			procs = append(procs, rbroadcast.New(id, i == 0, "m"))
+		}
+		return sim.NewRunner(cfg, procs, faulty, adversary.Replay{}), procs
+	})
+}
+
+func TestShardedConsensus(t *testing.T) {
+	checkShardMatchesSequential(t, 200, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		all, correct, faulty := split(ids.NewRand(12), 13, 4)
+		var procs []sim.Process
+		for i, id := range correct {
+			procs = append(procs, consensus.New(id, float64(i%2)))
+		}
+		adv := adversary.ConsSplit{X1: 0, X2: 1, All: all}
+		return sim.NewRunner(cfg, procs, faulty, adv), procs
+	})
+}
+
+func TestShardedApprox(t *testing.T) {
+	checkShardMatchesSequential(t, 14, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		all, correct, faulty := split(ids.NewRand(13), 10, 3)
+		var procs []sim.Process
+		for i, id := range correct {
+			procs = append(procs, approx.NewIterated(id, float64(i*10), 8))
+		}
+		adv := adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
+		return sim.NewRunner(cfg, procs, faulty, adv), procs
+	})
+}
+
+func TestShardedRotor(t *testing.T) {
+	checkShardMatchesSequential(t, 130, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		all, correct, faulty := split(ids.NewRand(14), 13, 4)
+		var procs []sim.Process
+		for i, id := range correct {
+			procs = append(procs, rotor.New(id, float64(i)))
+		}
+		per := make(map[ids.ID]sim.Adversary)
+		for i, id := range faulty {
+			per[id] = &adversary.RotorHidden{Subset: correct[:1+i%len(correct)], All: all, X1: -1, X2: -2}
+		}
+		return sim.NewRunner(cfg, procs, faulty, adversary.Compose{PerNode: per}), procs
+	})
+}
+
+func TestShardedParallelConsensus(t *testing.T) {
+	checkShardMatchesSequential(t, 400, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		all, correct, faulty := split(ids.NewRand(15), 7, 2)
+		var procs []sim.Process
+		for _, id := range correct {
+			inputs := map[parallel.PairID]parallel.Val{
+				1: parallel.V("x"), 2: parallel.V("y"), 3: parallel.V("z"),
+			}
+			procs = append(procs, parallel.NewNode(id, inputs))
+		}
+		adv := adversary.ParaSplit{Pair: 1, X1: parallel.V("a"), X2: parallel.V("b"), All: all}
+		return sim.NewRunner(cfg, procs, faulty, adv), procs
+	})
+}
+
+// panicProc panics in Step at a given round; used to prove a protocol
+// panic inside a shard goroutine re-raises on the caller's goroutine
+// (where it is recoverable) instead of aborting the process.
+type panicProc struct {
+	id      ids.ID
+	atRound int
+}
+
+func (p *panicProc) ID() ids.ID    { return p.id }
+func (p *panicProc) Decided() bool { return false }
+func (p *panicProc) Output() any   { return nil }
+func (p *panicProc) Step(round int, _ []sim.Message) []sim.Send {
+	if round == p.atRound {
+		panic(fmt.Sprintf("proc %d: invariant violated", p.id))
+	}
+	return nil
+}
+
+func TestShardedStepPanicIsRecoverable(t *testing.T) {
+	procs := []sim.Process{
+		&panicProc{id: 1, atRound: 2},
+		&panicProc{id: 2, atRound: 2},
+		&panicProc{id: 3, atRound: 99},
+	}
+	run := sim.NewRunner(sim.Config{MaxRounds: 5, Workers: 8}, procs, nil, nil)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("sharded Step panic did not propagate to the caller")
+		}
+		// The lowest-id panic wins, matching the sequential schedule.
+		if got := fmt.Sprint(p); got != "proc 1: invariant violated" {
+			t.Fatalf("wrong panic propagated: %q", got)
+		}
+	}()
+	run.Run(nil)
+}
+
+// TestShardedDynamicChurn covers joins and Leaver removal under the
+// sharded path: a joiner at round 10, a leaver at round 12, and an
+// event-equivocating adversary.
+func TestShardedDynamicChurn(t *testing.T) {
+	checkShardMatchesSequential(t, 40, false, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
+		all, correct, faulty := split(ids.NewRand(16), 7, 2)
+		var procs []sim.Process
+		for i, id := range correct {
+			witness := make(map[int][]string)
+			for r := 1; r <= 40; r++ {
+				if r%len(correct) == i {
+					witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
+				}
+			}
+			leaveAt := 0
+			if i == len(correct)-1 {
+				leaveAt = 12
+			}
+			procs = append(procs, dynamic.New(dynamic.Config{ID: id, Founders: all, Witness: witness, LeaveAt: leaveAt}))
+		}
+		run := sim.NewRunner(cfg, procs, faulty, adversary.DynEquivEvent{All: all, Every: 2})
+		joiner := dynamic.New(dynamic.Config{ID: ids.Sparse(ids.NewRand(999), 1)[0]})
+		run.ScheduleJoin(10, joiner)
+		procs = append(procs, joiner)
+		return run, procs
+	})
+}

@@ -101,6 +101,15 @@ type Config struct {
 	MaxRounds          int      // hard stop; 0 means DefaultMaxRounds
 	StopWhenAllDecided bool     // stop as soon as every correct node decided
 	Observer           Observer // optional traffic observer
+
+	// Workers > 1 enables the sharded round fast path: the per-round
+	// Step calls of correct processes are fanned across this many
+	// goroutines and their outboxes are merged in increasing-id order,
+	// so the run is bit-identical to the sequential schedule. Requires
+	// that processes do not share mutable state (every protocol in this
+	// repository satisfies this); the adversary is always stepped
+	// sequentially, so it may keep shared per-round state. See shard.go.
+	Workers int
 }
 
 // DefaultMaxRounds bounds runaway protocols in tests and experiments.
@@ -263,9 +272,19 @@ func (r *Runner) StepRound() {
 	var leavers []ids.ID
 	actives := make([]ids.ID, len(r.active))
 	copy(actives, r.active)
-	for _, id := range actives {
+	// With Workers > 1 the Step calls of correct processes are computed
+	// concurrently up front (shard.go); the loop below then replays the
+	// exact sequential schedule — adversary steps, deliveries, observer
+	// callbacks and metrics all happen in increasing-id order either way.
+	var pre []stepOut
+	if r.cfg.Workers > 1 {
+		pre = r.shardSteps(actives, inboxes, round)
+	}
+	for i, id := range actives {
 		inbox := inboxes[id]
-		sortInbox(inbox)
+		if pre == nil {
+			sortInbox(inbox)
+		}
 		if r.faulty[id] {
 			for _, s := range r.adv.Step(id, round, inbox) {
 				r.deliver(id, s)
@@ -273,13 +292,24 @@ func (r *Runner) StepRound() {
 			continue
 		}
 		p := r.procs[id]
-		if p.Decided() {
-			if _, seen := r.metrics.DecidedRound[id]; !seen {
-				r.metrics.DecidedRound[id] = round - 1
+		var sends []Send
+		if pre != nil {
+			if pre[i].decidedBefore {
+				if _, seen := r.metrics.DecidedRound[id]; !seen {
+					r.metrics.DecidedRound[id] = round - 1
+				}
+				continue
 			}
-			continue
+			sends = pre[i].sends
+		} else {
+			if p.Decided() {
+				if _, seen := r.metrics.DecidedRound[id]; !seen {
+					r.metrics.DecidedRound[id] = round - 1
+				}
+				continue
+			}
+			sends = p.Step(round, inbox)
 		}
-		sends := p.Step(round, inbox)
 		if r.cfg.Observer != nil {
 			r.cfg.Observer(round, id, sends)
 		}
