@@ -17,11 +17,20 @@
 //	idonly-bench -grid small -json        # emit the grid report as JSON
 //	                                      # (diagnostics go to stderr)
 //	idonly-bench -grid small -sim-workers 4  # also shard rounds inside each run
+//	idonly-bench -bench-json                 # measure the E1–E10 workloads and
+//	                                         # emit a BENCH_*.json perf snapshot
+//	                                         # (ns/op, allocs/op, msgs/sec)
+//	idonly-bench -bench-json -bench-out BENCH_1.json -bench-label pr2
+//	idonly-bench -bench-json -bench-baseline BENCH_1.json
+//	                                         # also compare against a checked-in
+//	                                         # snapshot; exit 1 on a >2x
+//	                                         # allocs/op regression
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -38,6 +47,11 @@ func main() {
 	grid := flag.String("grid", "", "run a scenario grid instead of the experiments: small, medium or large")
 	jsonOut := flag.Bool("json", false, "with -grid: emit the full report as JSON")
 	simWorkers := flag.Int("sim-workers", 1, "with -grid: shard each round's Step calls inside every run across this many goroutines")
+	canonical := flag.Bool("canonical", false, "with -grid: emit the canonical (timing-free, byte-stable) report JSON")
+	benchJSON := flag.Bool("bench-json", false, "measure the experiment workloads and emit a perf snapshot as JSON")
+	benchOut := flag.String("bench-out", "", "with -bench-json: write the snapshot to this file instead of stdout")
+	benchLabel := flag.String("bench-label", "", "with -bench-json: label recorded in the snapshot")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this snapshot file, exit 1 on a >2x allocs/op regression")
 	flag.Parse()
 	// Only an explicitly chosen -workers triggers the sequential
 	// baseline + speedup comparison: it doubles the work, so the
@@ -49,8 +63,15 @@ func main() {
 		}
 	})
 
+	if *benchJSON {
+		if err := runBenchJSON(*run, *benchLabel, *benchOut, *benchBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *grid != "" {
-		if err := runGrid(*grid, *workers, *simWorkers, *jsonOut, compare); err != nil {
+		if err := runGrid(*grid, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -65,7 +86,7 @@ func main() {
 // canonical reports are byte-identical (the engine's determinism
 // contract) and prints the measured speedup; with -json the speedup
 // line goes to stderr so stdout stays machine-readable.
-func runGrid(name string, workers, simWorkers int, jsonOut, compare bool) error {
+func runGrid(name string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
 	g, err := engine.PresetGrid(name)
 	if err != nil {
 		return err
@@ -79,7 +100,11 @@ func runGrid(name string, workers, simWorkers int, jsonOut, compare bool) error 
 	}
 	rep := engine.RunAll(specs, engine.Options{Workers: workers, Grid: name})
 
-	if jsonOut {
+	if canonical {
+		if _, err := os.Stdout.Write(rep.Canonical()); err != nil {
+			return err
+		}
+	} else if jsonOut {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			return err
 		}
@@ -91,7 +116,7 @@ func runGrid(name string, workers, simWorkers int, jsonOut, compare bool) error 
 			return fmt.Errorf("determinism violated: canonical reports differ between workers=1 and workers=%d", workers)
 		}
 		out := os.Stdout
-		if jsonOut {
+		if jsonOut || canonical {
 			out = os.Stderr
 		}
 		seq := time.Duration(baseline.ElapsedNS)
@@ -103,6 +128,56 @@ func runGrid(name string, workers, simWorkers int, jsonOut, compare bool) error 
 	if errs := rep.Errors(); len(errs) > 0 {
 		return fmt.Errorf("%d scenarios failed; first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
 	}
+	return nil
+}
+
+// runBenchJSON measures the benchmark workloads (optionally a -run
+// subset) and emits the snapshot. With a baseline file it additionally
+// fails on a >2x allocs/op regression — the machine-independent half of
+// the snapshot — so CI can gate on the checked-in BENCH_*.json.
+func runBenchJSON(run, label, outPath, baselinePath string) error {
+	want := map[string]bool{}
+	if run != "" {
+		for _, id := range strings.Split(run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	snap := experiments.RunBenchSnapshot(label, want)
+
+	out := io.Writer(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := snap.WriteJSON(out); err != nil {
+		return err
+	}
+	for _, r := range snap.Results {
+		fmt.Fprintf(os.Stderr, "%-4s %12.0f ns/op %8d allocs/op %10d B/op %12.0f msgs/sec\n",
+			r.ID, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.MsgsPerSec)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := experiments.ReadBenchSnapshot(f)
+	if err != nil {
+		return err
+	}
+	if failures := experiments.CompareBenchSnapshots(base, snap, 2.0); len(failures) > 0 {
+		return fmt.Errorf("allocs/op regression vs %s:\n  %s",
+			baselinePath, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "allocs/op within 2x of baseline %s\n", baselinePath)
 	return nil
 }
 

@@ -2,8 +2,10 @@ package engine
 
 import "sort"
 
-// Result is the outcome of one scenario run. WallNS is the only
-// non-deterministic field; Report.Canonical zeroes it.
+// Result is the outcome of one scenario run. WallNS is
+// non-deterministic and InboxGrows describes the allocator rather than
+// the protocol; Report.Canonical zeroes both, so canonical bytes stay
+// comparable across delivery-path rewrites.
 type Result struct {
 	Scenario          Scenario `json:"scenario"`
 	Rounds            int      `json:"rounds"`
@@ -14,6 +16,11 @@ type Result struct {
 	Output            string   `json:"output"`
 	Err               string   `json:"err,omitempty"`
 	WallNS            int64    `json:"wall_ns,omitempty"`
+
+	// InboxGrows is sim.Metrics.InboxGrows: deliveries that forced a
+	// pooled inbox buffer to grow. It is deterministic, but it gauges
+	// allocation pressure, not protocol cost.
+	InboxGrows int64 `json:"inbox_grows,omitempty"`
 }
 
 // GroupKey identifies an aggregation bucket: all seeds of one

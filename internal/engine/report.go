@@ -35,10 +35,11 @@ func (r *Report) Errors() []Result {
 }
 
 // Canonical returns the deterministic JSON form of the report: the full
-// report with every timing field (Workers, ElapsedNS, WallNS) zeroed.
-// Two sweeps of the same scenarios produce byte-identical Canonical
-// output regardless of worker count — this is the determinism contract
-// the engine tests enforce.
+// report with every timing field (Workers, ElapsedNS, WallNS) and the
+// allocation gauge (InboxGrows) zeroed. Two sweeps of the same
+// scenarios produce byte-identical Canonical output regardless of
+// worker count — and regardless of delivery-path buffer tuning — this
+// is the determinism contract the engine tests enforce.
 func (r *Report) Canonical() []byte {
 	c := *r
 	c.Workers = 0
@@ -47,6 +48,7 @@ func (r *Report) Canonical() []byte {
 	copy(c.Results, r.Results)
 	for i := range c.Results {
 		c.Results[i].WallNS = 0
+		c.Results[i].InboxGrows = 0
 	}
 	b, err := json.MarshalIndent(&c, "", "  ")
 	if err != nil {

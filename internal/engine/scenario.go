@@ -158,6 +158,7 @@ func (s Scenario) Run() (res Result) {
 	res.Rounds = m.Rounds
 	res.MessagesDelivered = m.MessagesDelivered
 	res.MessagesDropped = m.MessagesDropped
+	res.InboxGrows = m.InboxGrows
 	res.AllDecided = true
 	for _, p := range procs {
 		if !p.Decided() {

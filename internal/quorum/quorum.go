@@ -9,7 +9,11 @@
 // the paper's proofs.
 package quorum
 
-import "idonly/internal/ids"
+import (
+	"sort"
+
+	"idonly/internal/ids"
+)
 
 // AtLeastThird reports whether count ≥ nv/3, i.e. 3·count ≥ nv.
 func AtLeastThird(count, nv int) bool {
@@ -32,17 +36,88 @@ func FloorThird(nv int) int {
 	return nv / 3
 }
 
+// smallSetMax is the cardinality up to which witness sets use the
+// sorted-slice representation. The sets here are the per-node hot
+// structures of every protocol, and in the paper's regime (n a few
+// dozen, thresholds at nv/3) most sets stay tiny: a sorted slice has
+// no per-entry boxing, hashes nothing, and membership is a short
+// binary search over one cache line or two. Sets that outgrow the
+// threshold promote to a map once and stay there.
+const smallSetMax = 16
+
+// idSet is a set of node ids optimised for small cardinalities: a
+// sorted array inlined in the struct up to smallSetMax entries (so the
+// whole set is one allocation and zero growth), a map beyond. The zero
+// value is an empty set.
+type idSet struct {
+	n     int // entries in small when big == nil
+	small [smallSetMax]ids.ID
+	big   map[ids.ID]struct{}
+}
+
+// add inserts id and reports whether it was newly added.
+func (s *idSet) add(id ids.ID) bool {
+	if s.big != nil {
+		if _, ok := s.big[id]; ok {
+			return false
+		}
+		s.big[id] = struct{}{}
+		return true
+	}
+	sm := s.small[:s.n]
+	i := sort.Search(len(sm), func(i int) bool { return sm[i] >= id })
+	if i < len(sm) && sm[i] == id {
+		return false
+	}
+	if s.n < smallSetMax {
+		copy(s.small[i+1:s.n+1], s.small[i:s.n])
+		s.small[i] = id
+		s.n++
+		return true
+	}
+	s.big = make(map[ids.ID]struct{}, 2*smallSetMax)
+	for _, v := range sm {
+		s.big[v] = struct{}{}
+	}
+	s.n = 0
+	s.big[id] = struct{}{}
+	return true
+}
+
+func (s *idSet) has(id ids.ID) bool {
+	if s == nil {
+		return false
+	}
+	if s.big != nil {
+		_, ok := s.big[id]
+		return ok
+	}
+	sm := s.small[:s.n]
+	i := sort.Search(len(sm), func(i int) bool { return sm[i] >= id })
+	return i < len(sm) && sm[i] == id
+}
+
+func (s *idSet) len() int {
+	if s == nil {
+		return 0
+	}
+	if s.big != nil {
+		return len(s.big)
+	}
+	return s.n
+}
+
 // Witnesses tracks, per message key, the cumulative set of distinct
 // senders observed across rounds — the Srikanth–Toueg counting
 // semantics used by Algorithm 1 and Algorithm 2. A sender is counted at
 // most once per key no matter how many rounds it repeats the message.
 type Witnesses[K comparable] struct {
-	byKey map[K]map[ids.ID]bool
+	byKey map[K]*idSet
 }
 
 // NewWitnesses returns an empty witness tracker.
 func NewWitnesses[K comparable]() *Witnesses[K] {
-	return &Witnesses[K]{byKey: make(map[K]map[ids.ID]bool)}
+	return &Witnesses[K]{byKey: make(map[K]*idSet)}
 }
 
 // Add records that sender has vouched for key. It reports whether this
@@ -50,24 +125,20 @@ func NewWitnesses[K comparable]() *Witnesses[K] {
 func (w *Witnesses[K]) Add(key K, sender ids.ID) bool {
 	set := w.byKey[key]
 	if set == nil {
-		set = make(map[ids.ID]bool)
+		set = &idSet{}
 		w.byKey[key] = set
 	}
-	if set[sender] {
-		return false
-	}
-	set[sender] = true
-	return true
+	return set.add(sender)
 }
 
 // Count returns the number of distinct senders recorded for key.
 func (w *Witnesses[K]) Count(key K) int {
-	return len(w.byKey[key])
+	return w.byKey[key].len()
 }
 
 // Has reports whether sender already vouched for key.
 func (w *Witnesses[K]) Has(key K, sender ids.ID) bool {
-	return w.byKey[key][sender]
+	return w.byKey[key].has(sender)
 }
 
 // Keys returns all keys with at least one witness, in unspecified order.
@@ -83,27 +154,27 @@ func (w *Witnesses[K]) Keys() []K {
 // key. Unlike Witnesses it is reset every round; the consensus
 // algorithms (Alg. 3 and Alg. 5) count per-round, not cumulatively.
 type Tally[K comparable] struct {
-	byKey map[K]map[ids.ID]bool
+	byKey map[K]*idSet
 }
 
 // NewTally returns an empty per-round tally.
 func NewTally[K comparable]() *Tally[K] {
-	return &Tally[K]{byKey: make(map[K]map[ids.ID]bool)}
+	return &Tally[K]{byKey: make(map[K]*idSet)}
 }
 
 // Add records one vote by sender for key (idempotent per sender).
 func (t *Tally[K]) Add(key K, sender ids.ID) {
 	set := t.byKey[key]
 	if set == nil {
-		set = make(map[ids.ID]bool)
+		set = &idSet{}
 		t.byKey[key] = set
 	}
-	set[sender] = true
+	set.add(sender)
 }
 
 // Count returns the number of distinct senders that voted for key.
 func (t *Tally[K]) Count(key K) int {
-	return len(t.byKey[key])
+	return t.byKey[key].len()
 }
 
 // Best returns the key with the most votes and its count. ok is false
@@ -115,8 +186,8 @@ func (t *Tally[K]) Count(key K) int {
 // need determinism use BestFunc with an explicit order.
 func (t *Tally[K]) Best() (key K, count int, ok bool) {
 	for k, set := range t.byKey {
-		if len(set) > count {
-			key, count, ok = k, len(set), true
+		if set.len() > count {
+			key, count, ok = k, set.len(), true
 		}
 	}
 	return key, count, ok
@@ -127,9 +198,9 @@ func (t *Tally[K]) Best() (key K, count int, ok bool) {
 func (t *Tally[K]) BestFunc(less func(a, b K) bool) (key K, count int, ok bool) {
 	for k, set := range t.byKey {
 		switch {
-		case !ok, len(set) > count:
-			key, count, ok = k, len(set), true
-		case len(set) == count && less(k, key):
+		case !ok, set.len() > count:
+			key, count, ok = k, set.len(), true
+		case set.len() == count && less(k, key):
 			key = k
 		}
 	}
@@ -138,7 +209,7 @@ func (t *Tally[K]) BestFunc(less func(a, b K) bool) (key K, count int, ok bool) 
 
 // Has reports whether sender voted for key.
 func (t *Tally[K]) Has(key K, sender ids.ID) bool {
-	return t.byKey[key][sender]
+	return t.byKey[key].has(sender)
 }
 
 // HasSender reports whether sender voted for any key in this tally —
@@ -146,7 +217,7 @@ func (t *Tally[K]) Has(key K, sender ids.ID) bool {
 // message of this kind this round?").
 func (t *Tally[K]) HasSender(sender ids.ID) bool {
 	for _, set := range t.byKey {
-		if set[sender] {
+		if set.has(sender) {
 			return true
 		}
 	}
@@ -162,7 +233,8 @@ func (t *Tally[K]) Keys() []K {
 	return out
 }
 
-// Reset clears the tally for reuse in the next round.
+// Reset clears the tally for reuse in the next round, keeping the
+// outer map's buckets.
 func (t *Tally[K]) Reset() {
-	t.byKey = make(map[K]map[ids.ID]bool)
+	clear(t.byKey)
 }

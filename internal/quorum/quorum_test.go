@@ -166,3 +166,82 @@ func TestTallyReset(t *testing.T) {
 		t.Fatal("Reset did not clear")
 	}
 }
+
+// The witness sets use a sorted-slice representation below a size
+// threshold and promote to a map beyond it. The tests below cross the
+// promotion boundary (well past any plausible threshold) and check that
+// membership, idempotence and counting are unaffected.
+
+func TestWitnessesSmallSetPromotion(t *testing.T) {
+	w := quorum.NewWitnesses[string]()
+	const n = 100
+	for round := 0; round < 2; round++ {
+		for i := 1; i <= n; i++ {
+			added := w.Add("k", ids.ID(i*7)) // non-consecutive, unsorted-insert order
+			if round == 0 && !added {
+				t.Fatalf("first Add of sender %d reported duplicate", i*7)
+			}
+			if round == 1 && added {
+				t.Fatalf("second Add of sender %d reported new", i*7)
+			}
+		}
+	}
+	if w.Count("k") != n {
+		t.Fatalf("Count = %d, want %d", w.Count("k"), n)
+	}
+	for i := 1; i <= n; i++ {
+		if !w.Has("k", ids.ID(i*7)) {
+			t.Fatalf("Has lost sender %d", i*7)
+		}
+		if w.Has("k", ids.ID(i*7+1)) {
+			t.Fatalf("Has invented sender %d", i*7+1)
+		}
+	}
+}
+
+func TestWitnessesSmallSetInsertOrderIrrelevant(t *testing.T) {
+	// Same senders in opposite insertion orders must agree exactly —
+	// the sorted slice and the map are both order-free sets.
+	f := func(senders []uint16) bool {
+		a := quorum.NewWitnesses[int]()
+		b := quorum.NewWitnesses[int]()
+		for _, s := range senders {
+			a.Add(0, ids.ID(s)+1)
+		}
+		for i := len(senders) - 1; i >= 0; i-- {
+			b.Add(0, ids.ID(senders[i])+1)
+		}
+		if a.Count(0) != b.Count(0) {
+			return false
+		}
+		for _, s := range senders {
+			if !a.Has(0, ids.ID(s)+1) || !b.Has(0, ids.ID(s)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallySmallSetPromotion(t *testing.T) {
+	tl := quorum.NewTally[int]()
+	const n = 60
+	for i := 1; i <= n; i++ {
+		tl.Add(1, ids.ID(i))
+		tl.Add(1, ids.ID(i)) // duplicate votes never double-count
+	}
+	if tl.Count(1) != n {
+		t.Fatalf("Count = %d, want %d", tl.Count(1), n)
+	}
+	for i := 1; i <= n; i++ {
+		if !tl.Has(1, ids.ID(i)) {
+			t.Fatalf("Has lost sender %d", i)
+		}
+	}
+	if tl.Has(1, ids.ID(n+1)) {
+		t.Fatal("Has invented a sender")
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+// Micro-benchmarks for the flat message plane's hot operations. The
+// whole-protocol benchmarks live at the repo root (bench_test.go) and
+// in cmd/idonly-bench -bench-json; these isolate the delivery path
+// itself: broadcast fan-out, inbox sorting and a full steady-state
+// round. After buffer warm-up the per-round path performs no
+// allocations beyond one sort-key string per Send.
+
+import (
+	"fmt"
+	"testing"
+
+	"idonly/internal/ids"
+)
+
+// benchPayload mirrors the protocols' payload shapes: a small
+// comparable struct.
+type benchPayload struct {
+	Kind  int
+	Value float64
+}
+
+// benchProc broadcasts one message per round and never decides.
+type benchProc struct {
+	id ids.ID
+}
+
+func (p *benchProc) ID() ids.ID    { return p.id }
+func (p *benchProc) Decided() bool { return false }
+func (p *benchProc) Output() any   { return nil }
+func (p *benchProc) Step(round int, inbox []Message) []Send {
+	return []Send{BroadcastPayload(benchPayload{Kind: 1, Value: float64(round)})}
+}
+
+func newBenchRunner(n int) *Runner {
+	all := ids.Sparse(ids.NewRand(99), n)
+	procs := make([]Process, n)
+	for i, id := range all {
+		procs[i] = &benchProc{id: id}
+	}
+	return NewRunner(Config{MaxRounds: 1 << 30}, procs, nil, nil)
+}
+
+// BenchmarkDeliverBroadcast measures one broadcast Send fanned out to n
+// recipients, dedup and sort-key construction included. The inboxes
+// and duplicate filters are drained every few deliveries with the
+// timer stopped — a round never carries unbounded backlog, and letting
+// it pile up across b.N iterations would measure map growth instead of
+// the steady-state fan-out.
+func BenchmarkDeliverBroadcast(b *testing.B) {
+	const batch = 16 // distinct broadcasts per sender per round; generous vs any protocol here
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := newBenchRunner(n)
+			r.StepRound() // warm the pooled buffers
+			from := r.nodes[0].id
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%batch == 0 && i > 0 {
+					b.StopTimer()
+					r.StepRound() // flip + clear both buffer generations
+					r.StepRound()
+					b.StartTimer()
+				}
+				// A fresh payload per iteration so the dedup filter
+				// admits every delivery (the steady-state path).
+				r.deliver(from, BroadcastPayload(benchPayload{Kind: i % batch, Value: 1}))
+			}
+		})
+	}
+}
+
+// BenchmarkSortInbox measures sorting a pooled inbox whose sort keys
+// were computed at delivery time. The input is re-scrambled from a
+// template each iteration; the baseline comparator re-formatted every
+// payload O(m log m) times, this one formats zero.
+func BenchmarkSortInbox(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			senders := ids.Sparse(ids.NewRand(7), m/2)
+			tmpl := inboxBuf{}
+			for i := 0; i < m; i++ {
+				p := benchPayload{Kind: i % 3, Value: float64(m - i)}
+				tmpl.msgs = append(tmpl.msgs, Message{From: senders[i%len(senders)], Payload: p})
+				tmpl.keys = append(tmpl.keys, fmt.Sprint(p))
+			}
+			buf := inboxBuf{msgs: make([]Message, m), keys: make([]string, m)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf.msgs, tmpl.msgs)
+				copy(buf.keys, tmpl.keys)
+				buf.sort()
+			}
+		})
+	}
+}
+
+// BenchmarkStepRound measures one full steady-state round: n nodes
+// each broadcasting one message to n recipients (n² deliveries), with
+// all pooled buffers warm.
+func BenchmarkStepRound(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := newBenchRunner(n)
+			r.StepRound()
+			r.StepRound() // both buffer generations warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StepRound()
+			}
+			b.ReportMetric(float64(n*n), "msgs/round")
+		})
+	}
+}

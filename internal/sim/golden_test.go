@@ -1,0 +1,79 @@
+package sim_test
+
+// Golden-trace equality: the flat message plane must reproduce the
+// exact schedule of the original map-based delivery path. The digests
+// below were generated with the pre-refactor runner (PR 1); every
+// refactor of the delivery path must keep them byte-identical, for
+// every protocol, sequential and sharded. The digest covers the full
+// observer trace (every send of every node in every round), the final
+// node outputs and the deterministic metrics fields.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// digestRun executes one system and returns an FNV-1a 64 digest of its
+// observer trace, final outputs (in construction order) and metrics.
+// Metrics.InboxGrows-style allocation diagnostics must not be included:
+// the digest pins the schedule, not the allocator.
+func digestRun(workers, maxRounds int, stopDecided bool, build buildFn) string {
+	h := fnv.New64a()
+	cfg := sim.Config{
+		MaxRounds:          maxRounds,
+		StopWhenAllDecided: stopDecided,
+		Workers:            workers,
+		Observer: func(round int, from ids.ID, sends []sim.Send) {
+			fmt.Fprintf(h, "r%d %d %v\n", round, from, sends)
+		},
+	}
+	run, procs := build(cfg)
+	m := run.Run(nil)
+	for _, p := range procs {
+		fmt.Fprintf(h, "out %d %v\n", p.ID(), p.Output())
+	}
+	fmt.Fprintf(h, "rounds=%d delivered=%d dropped=%d byround=%v\n",
+		m.Rounds, m.MessagesDelivered, m.MessagesDropped, m.ByRound)
+	decided := make([]ids.ID, 0, len(m.DecidedRound))
+	for id := range m.DecidedRound {
+		decided = append(decided, id)
+	}
+	sort.Slice(decided, func(i, j int) bool { return decided[i] < decided[j] })
+	for _, id := range decided {
+		fmt.Fprintf(h, "decided %d r%d\n", id, m.DecidedRound[id])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+var goldenTraces = []struct {
+	name        string
+	maxRounds   int
+	stopDecided bool
+	build       buildFn
+	want        string // pre-refactor digest; schedule is frozen
+}{
+	{"rbroadcast", 12, false, buildRBroadcast, "1bad0a01badaf2ce"},
+	{"consensus", 200, true, buildConsensus, "ec3f075f199dedbe"},
+	{"approx", 14, true, buildApprox, "7d219c58c70685ee"},
+	{"rotor", 130, true, buildRotor, "5cc3812bca1d2cdf"},
+	{"parallel", 400, true, buildParallel, "c682e4c6b2f34794"},
+	{"dynamic", 40, false, buildDynamic, "49ac5e06f84637ce"},
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenTraces {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				got := digestRun(workers, tc.maxRounds, tc.stopDecided, tc.build)
+				if got != tc.want {
+					t.Fatalf("schedule changed: digest %s, golden %s", got, tc.want)
+				}
+			})
+		}
+	}
+}

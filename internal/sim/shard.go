@@ -15,8 +15,6 @@ package sim
 import (
 	"sync"
 	"sync/atomic"
-
-	"idonly/internal/ids"
 )
 
 // stepOut is the precomputed outcome of one correct process's Step.
@@ -26,18 +24,29 @@ type stepOut struct {
 }
 
 // shardSteps fans the Step calls of all correct, undecided processes in
-// actives across cfg.Workers goroutines and returns their outboxes
-// indexed by position in actives. Faulty positions are left zero (the
+// the node table across cfg.Workers goroutines and returns their
+// outboxes indexed by table slot. Faulty slots are left zero (the
 // adversary is stepped sequentially by the caller). Every inbox —
 // including the faulty nodes' — is sorted here, so the caller must not
 // sort again. Work is handed out via an atomic counter rather than
 // fixed chunks, so uneven per-node costs (one slow protocol instance)
-// do not stall a whole shard.
-func (r *Runner) shardSteps(actives []ids.ID, inboxes map[ids.ID][]Message, round int) []stepOut {
-	out := make([]stepOut, len(actives))
+// do not stall a whole shard. The result and panic buffers are pooled
+// on the Runner and reused every round.
+func (r *Runner) shardSteps(round int) []stepOut {
+	nn := len(r.nodes)
+	if cap(r.pre) < nn {
+		r.pre = make([]stepOut, nn)
+		r.panics = make([]any, nn)
+	}
+	out := r.pre[:nn]
+	panics := r.panics[:nn]
+	for i := range out {
+		out[i] = stepOut{}
+		panics[i] = nil
+	}
 	workers := r.cfg.Workers
-	if workers > len(actives) {
-		workers = len(actives)
+	if workers > nn {
+		workers = nn
 	}
 	if workers < 1 {
 		workers = 1
@@ -45,9 +54,8 @@ func (r *Runner) shardSteps(actives []ids.ID, inboxes map[ids.ID][]Message, roun
 	// A Step panic (the protocols panic on invariant violations) must
 	// not die on a shard goroutine — an unrecovered goroutine panic
 	// aborts the whole process and callers like the engine rely on
-	// recovering it. Capture per-index and re-raise the lowest-index
+	// recovering it. Capture per-slot and re-raise the lowest-slot
 	// panic on the calling goroutine, matching the sequential schedule.
-	panics := make([]any, len(actives))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -56,23 +64,22 @@ func (r *Runner) shardSteps(actives []ids.ID, inboxes map[ids.ID][]Message, roun
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(actives) {
+				if i >= nn {
 					return
 				}
 				func() {
 					defer func() { panics[i] = recover() }()
-					id := actives[i]
-					inbox := inboxes[id]
-					sortInbox(inbox)
-					if r.faulty[id] {
+					n := &r.nodes[i]
+					n.cur.sort()
+					if n.faulty {
 						return
 					}
-					p := r.procs[id]
+					p := n.proc
 					if p.Decided() {
 						out[i].decidedBefore = true
 						return
 					}
-					out[i].sends = p.Step(round, inbox)
+					out[i].sends = p.Step(round, n.cur.msgs)
 				}()
 			}
 		}()

@@ -65,69 +65,82 @@ func split(rng *ids.Rand, n, f int) (all, correct, faulty []ids.ID) {
 	return all, all[:n-f], all[n-f:]
 }
 
+// The named builders below are shared with the golden-trace tests
+// (golden_test.go), which pin the exact schedule these systems produce.
+
+func buildRBroadcast(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	_, correct, faulty := split(ids.NewRand(11), 13, 4)
+	var procs []sim.Process
+	for i, id := range correct {
+		procs = append(procs, rbroadcast.New(id, i == 0, "m"))
+	}
+	return sim.NewRunner(cfg, procs, faulty, adversary.Replay{}), procs
+}
+
 func TestShardedReliableBroadcast(t *testing.T) {
-	checkShardMatchesSequential(t, 12, false, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		_, correct, faulty := split(ids.NewRand(11), 13, 4)
-		var procs []sim.Process
-		for i, id := range correct {
-			procs = append(procs, rbroadcast.New(id, i == 0, "m"))
-		}
-		return sim.NewRunner(cfg, procs, faulty, adversary.Replay{}), procs
-	})
+	checkShardMatchesSequential(t, 12, false, buildRBroadcast)
+}
+
+func buildConsensus(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	all, correct, faulty := split(ids.NewRand(12), 13, 4)
+	var procs []sim.Process
+	for i, id := range correct {
+		procs = append(procs, consensus.New(id, float64(i%2)))
+	}
+	adv := adversary.ConsSplit{X1: 0, X2: 1, All: all}
+	return sim.NewRunner(cfg, procs, faulty, adv), procs
 }
 
 func TestShardedConsensus(t *testing.T) {
-	checkShardMatchesSequential(t, 200, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		all, correct, faulty := split(ids.NewRand(12), 13, 4)
-		var procs []sim.Process
-		for i, id := range correct {
-			procs = append(procs, consensus.New(id, float64(i%2)))
-		}
-		adv := adversary.ConsSplit{X1: 0, X2: 1, All: all}
-		return sim.NewRunner(cfg, procs, faulty, adv), procs
-	})
+	checkShardMatchesSequential(t, 200, true, buildConsensus)
+}
+
+func buildApprox(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	all, correct, faulty := split(ids.NewRand(13), 10, 3)
+	var procs []sim.Process
+	for i, id := range correct {
+		procs = append(procs, approx.NewIterated(id, float64(i*10), 8))
+	}
+	adv := adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
+	return sim.NewRunner(cfg, procs, faulty, adv), procs
 }
 
 func TestShardedApprox(t *testing.T) {
-	checkShardMatchesSequential(t, 14, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		all, correct, faulty := split(ids.NewRand(13), 10, 3)
-		var procs []sim.Process
-		for i, id := range correct {
-			procs = append(procs, approx.NewIterated(id, float64(i*10), 8))
-		}
-		adv := adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
-		return sim.NewRunner(cfg, procs, faulty, adv), procs
-	})
+	checkShardMatchesSequential(t, 14, true, buildApprox)
+}
+
+func buildRotor(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	all, correct, faulty := split(ids.NewRand(14), 13, 4)
+	var procs []sim.Process
+	for i, id := range correct {
+		procs = append(procs, rotor.New(id, float64(i)))
+	}
+	per := make(map[ids.ID]sim.Adversary)
+	for i, id := range faulty {
+		per[id] = &adversary.RotorHidden{Subset: correct[:1+i%len(correct)], All: all, X1: -1, X2: -2}
+	}
+	return sim.NewRunner(cfg, procs, faulty, adversary.Compose{PerNode: per}), procs
 }
 
 func TestShardedRotor(t *testing.T) {
-	checkShardMatchesSequential(t, 130, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		all, correct, faulty := split(ids.NewRand(14), 13, 4)
-		var procs []sim.Process
-		for i, id := range correct {
-			procs = append(procs, rotor.New(id, float64(i)))
+	checkShardMatchesSequential(t, 130, true, buildRotor)
+}
+
+func buildParallel(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	all, correct, faulty := split(ids.NewRand(15), 7, 2)
+	var procs []sim.Process
+	for _, id := range correct {
+		inputs := map[parallel.PairID]parallel.Val{
+			1: parallel.V("x"), 2: parallel.V("y"), 3: parallel.V("z"),
 		}
-		per := make(map[ids.ID]sim.Adversary)
-		for i, id := range faulty {
-			per[id] = &adversary.RotorHidden{Subset: correct[:1+i%len(correct)], All: all, X1: -1, X2: -2}
-		}
-		return sim.NewRunner(cfg, procs, faulty, adversary.Compose{PerNode: per}), procs
-	})
+		procs = append(procs, parallel.NewNode(id, inputs))
+	}
+	adv := adversary.ParaSplit{Pair: 1, X1: parallel.V("a"), X2: parallel.V("b"), All: all}
+	return sim.NewRunner(cfg, procs, faulty, adv), procs
 }
 
 func TestShardedParallelConsensus(t *testing.T) {
-	checkShardMatchesSequential(t, 400, true, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		all, correct, faulty := split(ids.NewRand(15), 7, 2)
-		var procs []sim.Process
-		for _, id := range correct {
-			inputs := map[parallel.PairID]parallel.Val{
-				1: parallel.V("x"), 2: parallel.V("y"), 3: parallel.V("z"),
-			}
-			procs = append(procs, parallel.NewNode(id, inputs))
-		}
-		adv := adversary.ParaSplit{Pair: 1, X1: parallel.V("a"), X2: parallel.V("b"), All: all}
-		return sim.NewRunner(cfg, procs, faulty, adv), procs
-	})
+	checkShardMatchesSequential(t, 400, true, buildParallel)
 }
 
 // panicProc panics in Step at a given round; used to prove a protocol
@@ -171,27 +184,29 @@ func TestShardedStepPanicIsRecoverable(t *testing.T) {
 // TestShardedDynamicChurn covers joins and Leaver removal under the
 // sharded path: a joiner at round 10, a leaver at round 12, and an
 // event-equivocating adversary.
-func TestShardedDynamicChurn(t *testing.T) {
-	checkShardMatchesSequential(t, 40, false, func(cfg sim.Config) (*sim.Runner, []sim.Process) {
-		all, correct, faulty := split(ids.NewRand(16), 7, 2)
-		var procs []sim.Process
-		for i, id := range correct {
-			witness := make(map[int][]string)
-			for r := 1; r <= 40; r++ {
-				if r%len(correct) == i {
-					witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
-				}
+func buildDynamic(cfg sim.Config) (*sim.Runner, []sim.Process) {
+	all, correct, faulty := split(ids.NewRand(16), 7, 2)
+	var procs []sim.Process
+	for i, id := range correct {
+		witness := make(map[int][]string)
+		for r := 1; r <= 40; r++ {
+			if r%len(correct) == i {
+				witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
 			}
-			leaveAt := 0
-			if i == len(correct)-1 {
-				leaveAt = 12
-			}
-			procs = append(procs, dynamic.New(dynamic.Config{ID: id, Founders: all, Witness: witness, LeaveAt: leaveAt}))
 		}
-		run := sim.NewRunner(cfg, procs, faulty, adversary.DynEquivEvent{All: all, Every: 2})
-		joiner := dynamic.New(dynamic.Config{ID: ids.Sparse(ids.NewRand(999), 1)[0]})
-		run.ScheduleJoin(10, joiner)
-		procs = append(procs, joiner)
-		return run, procs
-	})
+		leaveAt := 0
+		if i == len(correct)-1 {
+			leaveAt = 12
+		}
+		procs = append(procs, dynamic.New(dynamic.Config{ID: id, Founders: all, Witness: witness, LeaveAt: leaveAt}))
+	}
+	run := sim.NewRunner(cfg, procs, faulty, adversary.DynEquivEvent{All: all, Every: 2})
+	joiner := dynamic.New(dynamic.Config{ID: ids.Sparse(ids.NewRand(999), 1)[0]})
+	run.ScheduleJoin(10, joiner)
+	procs = append(procs, joiner)
+	return run, procs
+}
+
+func TestShardedDynamicChurn(t *testing.T) {
+	checkShardMatchesSequential(t, 40, false, buildDynamic)
 }

@@ -15,6 +15,17 @@
 // deterministic: participants are always iterated in increasing id
 // order and all randomness comes from seeded ids.Rand generators owned
 // by the caller.
+//
+// Delivery runs on a flat message plane: all per-node runner state
+// lives in one node table sorted by id, indexed through a slot map, so
+// broadcast fan-out, the destination-present check and per-round
+// iteration are O(1) array operations. Inbox buffers, their sort keys
+// and the per-recipient duplicate filters are pooled and reused across
+// rounds; each message's deterministic sort key is computed once per
+// Send at delivery time (shared by all recipients of a broadcast)
+// instead of once per comparison inside the inbox sort. The schedule —
+// traces, metrics, decided rounds — is bit-identical to the original
+// map-based delivery path; golden_test.go pins it per protocol.
 package sim
 
 import (
@@ -58,6 +69,10 @@ func Unicast(to ids.ID, p any) Send { return Send{To: to, Payload: p} }
 // calling Step and the node is silent (the paper's protocols terminate
 // and stop sending; their substitution rules keep the remaining nodes'
 // thresholds satisfiable).
+//
+// The inbox slice is owned by the runner and reused across rounds:
+// Step must not retain it (or subslices of it) past the call. Payload
+// values may be kept — they are immutable by convention.
 type Process interface {
 	ID() ids.ID
 	Step(round int, inbox []Message) []Send
@@ -78,7 +93,8 @@ type Leaver interface {
 // Sends it returns (stamped with the faulty node's real id — identity
 // forging on direct messages is impossible in the model). An adversary
 // may equivocate by unicasting different payloads to different nodes,
-// stay silent, replay, or flood.
+// stay silent, replay, or flood. Like Process.Step, it must not retain
+// the inbox slice.
 type Adversary interface {
 	Step(node ids.ID, round int, inbox []Message) []Send
 }
@@ -90,6 +106,14 @@ type Metrics struct {
 	MessagesDropped   int64          // dropped as within-round duplicates
 	ByRound           []int64        // deliveries per round (index round-1)
 	DecidedRound      map[ids.ID]int // first round in which each correct node reported Decided
+
+	// InboxGrows counts deliveries that forced a pooled inbox buffer to
+	// grow — the allocation-pressure gauge of the flat message plane.
+	// After the warm-up rounds of a steady-state run it stops
+	// increasing. It is deterministic (same schedule, same growth), but
+	// it describes the allocator, not the protocol; trace digests and
+	// canonical reports exclude it.
+	InboxGrows int64
 }
 
 // Observer receives a copy of every round's traffic; used by the trace
@@ -115,23 +139,84 @@ type Config struct {
 // DefaultMaxRounds bounds runaway protocols in tests and experiments.
 const DefaultMaxRounds = 10_000
 
+// node is one row of the flat node table: identity, the protocol
+// instance (nil for faulty nodes, which the adversary drives), and the
+// pooled delivery state. cur is the inbox being consumed this round,
+// nxt the one being filled for the next round; StepRound swaps them so
+// the backing arrays are reused for the whole run.
+type node struct {
+	id     ids.ID
+	proc   Process
+	faulty bool
+	cur    inboxBuf
+	nxt    inboxBuf
+	dedup  map[dedupKey]struct{} // within-round duplicate filter, cleared (not reallocated) each round
+}
+
+// inboxBuf couples a pooled inbox with the per-message sort keys
+// computed at delivery time. It sorts both slices in tandem with the
+// same comparator the original delivery path used (sender id, then the
+// stable payload formatting), so the resulting order is identical —
+// without a single fmt call inside the sort.
+type inboxBuf struct {
+	msgs []Message
+	keys []string
+}
+
+func (b *inboxBuf) Len() int { return len(b.msgs) }
+func (b *inboxBuf) Less(i, j int) bool {
+	if b.msgs[i].From != b.msgs[j].From {
+		return b.msgs[i].From < b.msgs[j].From
+	}
+	return b.keys[i] < b.keys[j]
+}
+func (b *inboxBuf) Swap(i, j int) {
+	b.msgs[i], b.msgs[j] = b.msgs[j], b.msgs[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+}
+
+// sort orders the inbox deterministically. Protocol logic must not
+// depend on inbox order; the sort exists so traces and any
+// order-dependent tie-breaks are reproducible run to run.
+func (b *inboxBuf) sort() { sort.Sort(b) }
+
+// reset empties the buffer for reuse, keeping the backing arrays.
+func (b *inboxBuf) reset() {
+	b.msgs = b.msgs[:0]
+	b.keys = b.keys[:0]
+}
+
 // Runner executes a synchronous round-based system.
 type Runner struct {
-	cfg     Config
-	procs   map[ids.ID]Process
-	adv     Adversary
-	faulty  map[ids.ID]bool
-	active  []ids.ID // sorted ids of all present nodes (correct + faulty)
-	inboxes map[ids.ID][]Message
-	pending map[ids.ID]map[dedupKey]bool
-	metrics Metrics
-	spawns  map[int][]spawn // round -> nodes joining at the start of that round
-	round   int
+	cfg       Config
+	adv       Adversary
+	nodes     []node         // the flat node table, sorted by id
+	slot      map[ids.ID]int // id -> index in nodes; present nodes only
+	undecided int            // correct processes not yet observed Decided
+	metrics   Metrics
+	spawns    map[int][]spawn // round -> nodes joining at the start of that round
+	round     int
+	stepping  bool     // a round is executing; membership is frozen
+	leavers   []ids.ID // per-round scratch, reused
+
+	// Pooled shard buffers (Workers > 1); see shard.go.
+	pre    []stepOut
+	panics []any
 }
 
 type dedupKey struct {
 	from    ids.ID
 	payload any
+}
+
+// sendCtx carries the per-Send delivery state shared by every recipient
+// of a broadcast: the duplicate-filter key is constructed once, and the
+// sort key (the old comparator's fmt.Sprint) is computed at most once —
+// lazily, so a Send dropped everywhere as a duplicate never formats.
+type sendCtx struct {
+	key     dedupKey
+	sortKey string
+	keyed   bool
 }
 
 type spawn struct {
@@ -148,37 +233,69 @@ func NewRunner(cfg Config, procs []Process, faulty []ids.ID, adv Adversary) *Run
 		cfg.MaxRounds = DefaultMaxRounds
 	}
 	r := &Runner{
-		cfg:     cfg,
-		procs:   make(map[ids.ID]Process, len(procs)),
-		adv:     adv,
-		faulty:  make(map[ids.ID]bool, len(faulty)),
-		inboxes: make(map[ids.ID][]Message),
-		pending: make(map[ids.ID]map[dedupKey]bool),
-		spawns:  make(map[int][]spawn),
+		cfg:    cfg,
+		adv:    adv,
+		nodes:  make([]node, 0, len(procs)+len(faulty)),
+		slot:   make(map[ids.ID]int, len(procs)+len(faulty)),
+		spawns: make(map[int][]spawn),
 	}
 	r.metrics.DecidedRound = make(map[ids.ID]int)
 	for _, p := range procs {
-		if _, dup := r.procs[p.ID()]; dup {
+		if _, dup := r.slot[p.ID()]; dup {
 			panic(fmt.Sprintf("sim: duplicate process id %d", p.ID()))
 		}
-		r.procs[p.ID()] = p
-		r.active = append(r.active, p.ID())
+		r.slot[p.ID()] = len(r.nodes)
+		r.nodes = append(r.nodes, node{id: p.ID(), proc: p})
 	}
 	for _, id := range faulty {
-		if _, clash := r.procs[id]; clash {
+		if j, clash := r.slot[id]; clash {
+			if r.nodes[j].faulty {
+				panic(fmt.Sprintf("sim: duplicate faulty id %d", id))
+			}
 			panic(fmt.Sprintf("sim: id %d is both correct and faulty", id))
 		}
-		if r.faulty[id] {
-			panic(fmt.Sprintf("sim: duplicate faulty id %d", id))
-		}
-		r.faulty[id] = true
-		r.active = append(r.active, id)
+		r.slot[id] = len(r.nodes)
+		r.nodes = append(r.nodes, node{id: id, faulty: true})
 	}
 	if len(faulty) > 0 && adv == nil {
 		panic("sim: faulty nodes without an adversary")
 	}
-	sort.Slice(r.active, func(i, j int) bool { return r.active[i] < r.active[j] })
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].id < r.nodes[j].id })
+	r.reslot(0)
+	for i := range r.nodes {
+		r.presize(&r.nodes[i])
+	}
+	r.undecided = len(procs)
 	return r
+}
+
+// presize seeds a node's pooled delivery state for the steady-state
+// traffic shape — about one broadcast per peer per round — so short
+// runs do not spend their few rounds growing buffers one doubling at a
+// time. Capped: with very large systems the first rounds grow the rare
+// hot inboxes instead of committing n² memory up front.
+func (r *Runner) presize(n *node) {
+	c := len(r.nodes)
+	if c > 64 {
+		c = 64
+	}
+	if c < 8 {
+		c = 8
+	}
+	n.cur.msgs = make([]Message, 0, c)
+	n.cur.keys = make([]string, 0, c)
+	n.nxt.msgs = make([]Message, 0, c)
+	n.nxt.keys = make([]string, 0, c)
+	n.dedup = make(map[dedupKey]struct{}, c)
+}
+
+// reslot rebuilds the id -> index map for nodes[from:] after the table
+// shifted. Membership changes are rare (joins and leaves, never
+// mid-round); delivery only ever reads the map.
+func (r *Runner) reslot(from int) {
+	for j := from; j < len(r.nodes); j++ {
+		r.slot[r.nodes[j].id] = j
+	}
 }
 
 // ScheduleJoin arranges for a correct process to join the system at the
@@ -201,23 +318,36 @@ func (r *Runner) ScheduleFaultyJoin(round int, id ids.ID) {
 
 // RemoveFaulty removes a faulty node from the system immediately (the
 // adversary decides when faulty nodes leave, per the dynamic model).
+// It must not be called while a round is executing (e.g. from an
+// Observer): StepRound iterates the node table by index and relies on
+// membership being frozen for the duration of the round.
 func (r *Runner) RemoveFaulty(id ids.ID) {
-	if !r.faulty[id] {
+	if r.stepping {
+		panic("sim: RemoveFaulty called mid-round")
+	}
+	j, ok := r.slot[id]
+	if !ok || !r.nodes[j].faulty {
 		panic(fmt.Sprintf("sim: RemoveFaulty on non-faulty id %d", id))
 	}
-	delete(r.faulty, id)
-	r.removeActive(id)
+	r.removeNode(id)
 }
 
 // Active returns a copy of the sorted ids of all present nodes.
 func (r *Runner) Active() []ids.ID {
-	out := make([]ids.ID, len(r.active))
-	copy(out, r.active)
+	out := make([]ids.ID, len(r.nodes))
+	for i := range r.nodes {
+		out[i] = r.nodes[i].id
+	}
 	return out
 }
 
 // Process returns the correct process with the given id, or nil.
-func (r *Runner) Process(id ids.ID) Process { return r.procs[id] }
+func (r *Runner) Process(id ids.ID) Process {
+	if j, ok := r.slot[id]; ok {
+		return r.nodes[j].proc
+	}
+	return nil
+}
 
 // Metrics returns the metrics accumulated so far.
 func (r *Runner) Metrics() Metrics { return r.metrics }
@@ -231,7 +361,7 @@ func (r *Runner) Round() int { return r.round }
 func (r *Runner) Run(stop func(round int) bool) Metrics {
 	for r.round < r.cfg.MaxRounds {
 		r.StepRound()
-		if r.cfg.StopWhenAllDecided && r.allDecided() {
+		if r.cfg.StopWhenAllDecided && r.undecided == 0 {
 			break
 		}
 		if stop != nil && stop(r.round) {
@@ -245,167 +375,184 @@ func (r *Runner) Run(stop func(round int) bool) Metrics {
 // take effect, every active node consumes its inbox and produces sends,
 // and the sends become next round's inboxes.
 func (r *Runner) StepRound() {
+	r.stepping = true
+	defer func() { r.stepping = false }()
 	r.round++
 	round := r.round
 	for _, s := range r.spawns[round] {
 		if s.faulty {
-			if r.faulty[s.id] {
+			if j, ok := r.slot[s.id]; ok && r.nodes[j].faulty {
 				panic(fmt.Sprintf("sim: faulty id %d joined twice", s.id))
 			}
-			r.faulty[s.id] = true
+			r.insertNode(node{id: s.id, faulty: true})
 		} else {
-			if _, dup := r.procs[s.id]; dup {
+			if j, ok := r.slot[s.id]; ok && r.nodes[j].proc != nil {
 				panic(fmt.Sprintf("sim: process id %d joined twice", s.id))
 			}
-			r.procs[s.id] = s.proc
+			r.insertNode(node{id: s.id, proc: s.proc})
+			r.undecided++
 		}
-		r.insertActive(s.id)
 	}
 	delete(r.spawns, round)
 
-	// Snapshot inboxes for this round and reset delivery buffers.
-	inboxes := r.inboxes
-	r.inboxes = make(map[ids.ID][]Message)
-	r.pending = make(map[ids.ID]map[dedupKey]bool)
+	// Flip the delivery buffers: last round's deliveries become this
+	// round's inboxes and the buffers consumed last round are emptied —
+	// backing arrays intact — to receive this round's traffic. The
+	// duplicate filters are cleared in place for the same reason.
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		n.cur, n.nxt = n.nxt, n.cur
+		n.nxt.reset()
+		if len(n.dedup) > 0 {
+			clear(n.dedup)
+		}
+	}
 	r.metrics.ByRound = append(r.metrics.ByRound, 0)
 
-	var leavers []ids.ID
-	actives := make([]ids.ID, len(r.active))
-	copy(actives, r.active)
+	r.leavers = r.leavers[:0]
+	// Membership is frozen while the round executes: joins applied
+	// above, leavers removed below, so indexing the table directly is
+	// safe even though deliver appends into other rows' buffers.
+	nn := len(r.nodes)
 	// With Workers > 1 the Step calls of correct processes are computed
 	// concurrently up front (shard.go); the loop below then replays the
 	// exact sequential schedule — adversary steps, deliveries, observer
 	// callbacks and metrics all happen in increasing-id order either way.
 	var pre []stepOut
 	if r.cfg.Workers > 1 {
-		pre = r.shardSteps(actives, inboxes, round)
+		pre = r.shardSteps(round)
 	}
-	for i, id := range actives {
-		inbox := inboxes[id]
+	for i := 0; i < nn; i++ {
+		n := &r.nodes[i]
 		if pre == nil {
-			sortInbox(inbox)
+			n.cur.sort()
 		}
-		if r.faulty[id] {
-			for _, s := range r.adv.Step(id, round, inbox) {
-				r.deliver(id, s)
+		inbox := n.cur.msgs
+		if n.faulty {
+			for _, s := range r.adv.Step(n.id, round, inbox) {
+				r.deliver(n.id, s)
 			}
 			continue
 		}
-		p := r.procs[id]
+		p := n.proc
 		var sends []Send
 		if pre != nil {
 			if pre[i].decidedBefore {
-				if _, seen := r.metrics.DecidedRound[id]; !seen {
-					r.metrics.DecidedRound[id] = round - 1
-				}
+				r.markDecided(n.id, round-1)
 				continue
 			}
 			sends = pre[i].sends
 		} else {
 			if p.Decided() {
-				if _, seen := r.metrics.DecidedRound[id]; !seen {
-					r.metrics.DecidedRound[id] = round - 1
-				}
+				r.markDecided(n.id, round-1)
 				continue
 			}
 			sends = p.Step(round, inbox)
 		}
 		if r.cfg.Observer != nil {
-			r.cfg.Observer(round, id, sends)
+			r.cfg.Observer(round, n.id, sends)
 		}
 		for _, s := range sends {
-			r.deliver(id, s)
+			r.deliver(n.id, s)
 		}
 		if p.Decided() {
-			if _, seen := r.metrics.DecidedRound[id]; !seen {
-				r.metrics.DecidedRound[id] = round
-			}
+			r.markDecided(n.id, round)
 		}
 		if l, ok := p.(Leaver); ok && l.Left() {
-			leavers = append(leavers, id)
+			r.leavers = append(r.leavers, n.id)
 		}
 	}
-	for _, id := range leavers {
-		delete(r.procs, id)
-		r.removeActive(id)
+	for _, id := range r.leavers {
+		r.removeNode(id)
 	}
 	r.metrics.Rounds = round
+}
+
+// markDecided records the first round a correct node reported Decided
+// and maintains the undecided counter that replaces the per-round
+// all-decided scan.
+func (r *Runner) markDecided(id ids.ID, round int) {
+	if _, seen := r.metrics.DecidedRound[id]; !seen {
+		r.metrics.DecidedRound[id] = round
+		r.undecided--
+	}
 }
 
 // deliver routes one Send from the given sender, expanding broadcasts
 // to every currently active node (including the sender itself — the
 // paper's algorithms count the self-copy, e.g. Alg. 4 "including self")
-// and discarding within-round duplicates per recipient.
+// and discarding within-round duplicates per recipient. The duplicate
+// key and the sort key are constructed once per Send and shared across
+// the whole broadcast fan-out.
 func (r *Runner) deliver(from ids.ID, s Send) {
+	c := sendCtx{key: dedupKey{from: from, payload: s.Payload}}
 	if s.To == Broadcast {
-		for _, to := range r.active {
-			r.deliverOne(from, to, s.Payload)
+		for i := range r.nodes {
+			r.deliverOne(&r.nodes[i], from, s.Payload, &c)
 		}
 		return
 	}
-	r.deliverOne(from, s.To, s.Payload)
+	if j, ok := r.slot[s.To]; ok {
+		r.deliverOne(&r.nodes[j], from, s.Payload, &c)
+	}
+	// Destination absent (left or never joined): the Send vanishes.
 }
 
-func (r *Runner) deliverOne(from, to ids.ID, payload any) {
-	if !r.isActive(to) {
-		return // destination absent (left or never joined)
+func (r *Runner) deliverOne(n *node, from ids.ID, payload any, c *sendCtx) {
+	if n.dedup == nil {
+		n.dedup = make(map[dedupKey]struct{}, 8)
 	}
-	key := dedupKey{from: from, payload: payload}
-	set := r.pending[to]
-	if set == nil {
-		set = make(map[dedupKey]bool)
-		r.pending[to] = set
-	}
-	if set[key] {
+	if _, dup := n.dedup[c.key]; dup {
 		r.metrics.MessagesDropped++
 		return
 	}
-	set[key] = true
-	r.inboxes[to] = append(r.inboxes[to], Message{From: from, Payload: payload})
+	n.dedup[c.key] = struct{}{}
+	if !c.keyed {
+		// The deterministic sort key: the same stable payload formatting
+		// the original comparator evaluated per comparison, now at most
+		// once per Send.
+		c.sortKey = fmt.Sprint(payload)
+		c.keyed = true
+	}
+	if len(n.nxt.msgs) == cap(n.nxt.msgs) {
+		r.metrics.InboxGrows++
+	}
+	n.nxt.msgs = append(n.nxt.msgs, Message{From: from, Payload: payload})
+	n.nxt.keys = append(n.nxt.keys, c.sortKey)
 	r.metrics.MessagesDelivered++
 	r.metrics.ByRound[len(r.metrics.ByRound)-1]++
 }
 
-func (r *Runner) allDecided() bool {
-	for _, p := range r.procs {
-		if !p.Decided() {
-			return false
+// insertNode places a joining node into the sorted table and reindexes
+// the slots at and after the insertion point.
+func (r *Runner) insertNode(n node) {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= n.id })
+	if i < len(r.nodes) && r.nodes[i].id == n.id {
+		panic(fmt.Sprintf("sim: id %d already active", n.id))
+	}
+	r.nodes = append(r.nodes, node{})
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = n
+	r.reslot(i)
+	r.presize(&r.nodes[i])
+}
+
+// removeNode drops a node from the table, releases its pooled buffers
+// and keeps the undecided counter consistent when a correct process
+// leaves without having decided.
+func (r *Runner) removeNode(id ids.ID) {
+	i, ok := r.slot[id]
+	if !ok {
+		return
+	}
+	if r.nodes[i].proc != nil {
+		if _, seen := r.metrics.DecidedRound[id]; !seen {
+			r.undecided--
 		}
 	}
-	return true
-}
-
-func (r *Runner) isActive(id ids.ID) bool {
-	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
-	return i < len(r.active) && r.active[i] == id
-}
-
-func (r *Runner) insertActive(id ids.ID) {
-	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
-	if i < len(r.active) && r.active[i] == id {
-		panic(fmt.Sprintf("sim: id %d already active", id))
-	}
-	r.active = append(r.active, 0)
-	copy(r.active[i+1:], r.active[i:])
-	r.active[i] = id
-}
-
-func (r *Runner) removeActive(id ids.ID) {
-	i := sort.Search(len(r.active), func(i int) bool { return r.active[i] >= id })
-	if i < len(r.active) && r.active[i] == id {
-		r.active = append(r.active[:i], r.active[i+1:]...)
-	}
-}
-
-// sortInbox orders an inbox deterministically: by sender id, then by a
-// stable formatting of the payload. Protocol logic must not depend on
-// inbox order; the sort exists so traces and any order-dependent
-// tie-breaks are reproducible run to run.
-func sortInbox(inbox []Message) {
-	sort.Slice(inbox, func(i, j int) bool {
-		if inbox[i].From != inbox[j].From {
-			return inbox[i].From < inbox[j].From
-		}
-		return fmt.Sprint(inbox[i].Payload) < fmt.Sprint(inbox[j].Payload)
-	})
+	delete(r.slot, id)
+	copy(r.nodes[i:], r.nodes[i+1:])
+	r.nodes[len(r.nodes)-1] = node{} // release the buffers to the GC
+	r.nodes = r.nodes[:len(r.nodes)-1]
+	r.reslot(i)
 }

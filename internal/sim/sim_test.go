@@ -274,3 +274,40 @@ func TestMaxRoundsCap(t *testing.T) {
 		t.Fatalf("Rounds = %d, want 7", m.Rounds)
 	}
 }
+
+// floodAdversary broadcasts many distinct payloads per round.
+type floodAdversary struct{ k int }
+
+func (a floodAdversary) Step(node ids.ID, round int, _ []sim.Message) []sim.Send {
+	out := make([]sim.Send, a.k)
+	for i := range out {
+		out[i] = sim.BroadcastPayload(greet{N: 1000 + i})
+	}
+	return out
+}
+
+func TestInboxGrowsCountsBufferGrowth(t *testing.T) {
+	// The pooled inbox buffers are pre-sized for about one broadcast
+	// per peer; a flood of distinct payloads must overflow them (counted
+	// in InboxGrows) in the first round and be absorbed by the grown
+	// buffers afterwards.
+	run := func(rounds int) sim.Metrics {
+		rng := ids.NewRand(5)
+		all := ids.Sparse(rng, 3)
+		var procs []sim.Process
+		for _, id := range all[:2] {
+			procs = append(procs, &echoProc{id: id, stopAt: 1 << 30})
+		}
+		r := sim.NewRunner(sim.Config{MaxRounds: rounds}, procs, all[2:], floodAdversary{k: 40})
+		return r.Run(nil)
+	}
+	short := run(2)
+	if short.InboxGrows == 0 {
+		t.Fatal("flood did not grow any pooled inbox buffer")
+	}
+	long := run(6)
+	if long.InboxGrows != short.InboxGrows {
+		t.Fatalf("buffers kept growing after warm-up: %d grows in 2 rounds, %d in 6",
+			short.InboxGrows, long.InboxGrows)
+	}
+}
