@@ -116,9 +116,11 @@ func NewParallelConsensus(id NodeID, inputs map[PairID]Val) *parallel.Node {
 }
 
 // DynamicConfig configures an Algorithm 6 total-ordering participant;
-// OrderedEvent is one entry of its chain.
+// DynamicNode is the participant type and OrderedEvent one entry of
+// its chain.
 type (
 	DynamicConfig = dynamic.Config
+	DynamicNode   = dynamic.Node
 	OrderedEvent  = dynamic.Event
 )
 
@@ -173,17 +175,20 @@ func PartitionDelay(groupA map[NodeID]bool, inner, cross float64) DelayFn {
 // ---------------------------------------------------------------------
 
 // Scenario is one declarative simulation run — a protocol, an adversary
-// strategy, a system size (n, f) and a seed. Grid crosses protocols ×
-// adversaries × sizes × seeds into a scenario list, and Report carries
-// the sweep's per-scenario results plus per-cell aggregates (round and
-// message percentiles).
+// strategy, a system size (n, f), an optional churn spec and a seed.
+// Grid crosses protocols × adversaries × sizes × churn specs × seeds
+// into a scenario list, and Report carries the sweep's per-scenario
+// results plus per-cell aggregates (round and message percentiles,
+// decision counts, churn metrics).
 //
 // Determinism contract: every scenario derives all randomness from its
-// own seeded Rand, results are merged in scenario-index order and
-// aggregates in sorted key order, so Report.Canonical() — the report
-// with the wall-clock timing fields zeroed — is byte-identical for any
-// worker count, including per-round sharding via Scenario.SimWorkers
-// (which maps to Config.Workers inside the synchronous simulator).
+// own seeded Rand — including the churn plan, whose join/leave rounds
+// are resolved from the seed alone — results are merged in
+// scenario-index order and aggregates in sorted key order, so
+// Report.Canonical() — the report with the wall-clock timing fields
+// zeroed — is byte-identical for any worker count, including per-round
+// sharding via Scenario.SimWorkers (which maps to Config.Workers inside
+// the synchronous simulator).
 type (
 	Scenario       = engine.Scenario
 	Grid           = engine.Grid
@@ -192,6 +197,38 @@ type (
 	EngineOptions  = engine.Options
 )
 
+// ChurnSpec declares mid-run membership change for a Scenario or a
+// Grid axis: correct joiners and graceful leavers (dynamic ordering
+// protocol), plus late-entering and mid-run-removed faulty nodes (any
+// protocol). The concrete join/leave rounds are derived
+// deterministically from the scenario seed, so churned runs remain
+// pure values.
+type ChurnSpec = engine.Churn
+
+// Scenario protocol names (Scenario.Protocol / Grid.Protocols).
+const (
+	ProtoRBroadcast = engine.ProtoRBroadcast // Algorithm 1, reliable broadcast
+	ProtoRotor      = engine.ProtoRotor      // Algorithm 2, rotor-coordinator
+	ProtoConsensus  = engine.ProtoConsensus  // Algorithm 3, id-only consensus
+	ProtoApprox     = engine.ProtoApprox     // Algorithm 4, iterated approximate agreement
+	ProtoParallel   = engine.ProtoParallel   // Algorithm 5, parallel consensus
+	ProtoDynamic    = engine.ProtoDynamic    // Algorithm 6, total ordering under churn
+)
+
+// Scenario adversary names (Scenario.Adversary / Grid.Adversaries).
+const (
+	AdvNone   = engine.AdvNone
+	AdvSilent = engine.AdvSilent
+	AdvSplit  = engine.AdvSplit
+	AdvChaos  = engine.AdvChaos
+	AdvReplay = engine.AdvReplay
+)
+
+// ScenarioProtocols returns every engine protocol name in canonical
+// order; ScenarioAdversaries likewise for adversaries.
+func ScenarioProtocols() []string   { return engine.Protocols() }
+func ScenarioAdversaries() []string { return engine.Adversaries() }
+
 // RunAll executes every scenario across a worker pool of
 // opts.Workers goroutines (GOMAXPROCS when 0) and returns the
 // aggregated report.
@@ -199,8 +236,9 @@ func RunAll(specs []Scenario, opts EngineOptions) *Report {
 	return engine.RunAll(specs, opts)
 }
 
-// PresetGrid returns one of the named benchmark grids: "small" (120
-// scenarios), "medium" (360) or "large" (800).
+// PresetGrid returns one of the named benchmark grids: "small" (288
+// scenarios), "medium" (864) or "large" (1920), each crossing a static
+// column with a churn column.
 func PresetGrid(name string) (Grid, error) { return engine.PresetGrid(name) }
 
 // ParallelMap fans fn(0..n-1) across at most workers goroutines and

@@ -17,6 +17,11 @@
 //	idonly-bench -grid small -json        # emit the grid report as JSON
 //	                                      # (diagnostics go to stderr)
 //	idonly-bench -grid small -sim-workers 4  # also shard rounds inside each run
+//	idonly-bench -grid small -churn j2,l1,fj1,fl1
+//	                                      # replace the grid's churn axis with
+//	                                      # one spec: 2 joins, 1 graceful leave,
+//	                                      # 1 late faulty join, 1 faulty removal
+//	idonly-bench -grid small -churn none  # static column only
 //	idonly-bench -bench-json                 # measure the E1–E10 workloads and
 //	                                         # emit a BENCH_*.json perf snapshot
 //	                                         # (ns/op, allocs/op, msgs/sec)
@@ -33,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +53,7 @@ func main() {
 	grid := flag.String("grid", "", "run a scenario grid instead of the experiments: small, medium or large")
 	jsonOut := flag.Bool("json", false, "with -grid: emit the full report as JSON")
 	simWorkers := flag.Int("sim-workers", 1, "with -grid: shard each round's Step calls inside every run across this many goroutines")
+	churn := flag.String("churn", "", "with -grid: replace the churn axis with one spec (e.g. j2,l1,fj1,fl1; 'none' = static only)")
 	canonical := flag.Bool("canonical", false, "with -grid: emit the canonical (timing-free, byte-stable) report JSON")
 	benchJSON := flag.Bool("bench-json", false, "measure the experiment workloads and emit a perf snapshot as JSON")
 	benchOut := flag.String("bench-out", "", "with -bench-json: write the snapshot to this file instead of stdout")
@@ -71,7 +78,7 @@ func main() {
 		return
 	}
 	if *grid != "" {
-		if err := runGrid(*grid, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
+		if err := runGrid(*grid, *churn, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -86,12 +93,19 @@ func main() {
 // canonical reports are byte-identical (the engine's determinism
 // contract) and prints the measured speedup; with -json the speedup
 // line goes to stderr so stdout stays machine-readable.
-func runGrid(name string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
+func runGrid(name, churn string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
 	g, err := engine.PresetGrid(name)
 	if err != nil {
 		return err
 	}
 	g.SimWorkers = simWorkers
+	if churn != "" {
+		spec, err := parseChurn(churn)
+		if err != nil {
+			return err
+		}
+		g.Churns = []engine.Churn{spec}
+	}
 	specs := g.Scenarios()
 
 	var baseline *engine.Report
@@ -129,6 +143,42 @@ func runGrid(name string, workers, simWorkers int, jsonOut, canonical, compare b
 		return fmt.Errorf("%d scenarios failed; first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
 	}
 	return nil
+}
+
+// parseChurn parses a churn spec in the same compact form
+// engine.Churn.Label renders: comma-separated jN / lN / fjN / flN
+// terms (e.g. "j2,l1,fj1,fl1"). The literal "none" is the zero spec
+// (a static-only axis).
+func parseChurn(spec string) (engine.Churn, error) {
+	var c engine.Churn
+	if spec == "none" {
+		return c, nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		var dst *int
+		var num string
+		switch {
+		case strings.HasPrefix(term, "fj"):
+			dst, num = &c.FaultyJoins, term[2:]
+		case strings.HasPrefix(term, "fl"):
+			dst, num = &c.FaultyLeaves, term[2:]
+		case strings.HasPrefix(term, "j"):
+			dst, num = &c.Joins, term[1:]
+		case strings.HasPrefix(term, "l"):
+			dst, num = &c.Leaves, term[1:]
+		case strings.HasPrefix(term, "w"):
+			dst, num = &c.Window, term[1:]
+		default:
+			return c, fmt.Errorf("churn spec: unknown term %q (want jN, lN, fjN, flN or wN)", term)
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("churn spec: bad count in %q", term)
+		}
+		*dst = n
+	}
+	return c, nil
 }
 
 // runBenchJSON measures the benchmark workloads (optionally a -run

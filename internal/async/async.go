@@ -140,13 +140,15 @@ func (q *eventQueue) Pop() any {
 
 // Scheduler executes an asynchronous system deterministically.
 type Scheduler struct {
-	procs  map[ids.ID]Process
-	order  []ids.ID
-	delay  DelayFn
-	queue  eventQueue
-	seq    int
-	now    float64
-	events int
+	procs     map[ids.ID]Process
+	order     []ids.ID
+	delay     DelayFn
+	queue     eventQueue
+	seq       int
+	now       float64
+	events    int
+	started   bool // Init already ran; further Run calls resume instead
+	undecided int  // processes not yet observed Decided
 }
 
 // NewScheduler creates a scheduler over the given processes with the
@@ -159,6 +161,9 @@ func NewScheduler(procs []Process, delay DelayFn) *Scheduler {
 		}
 		s.procs[p.ID()] = p
 		s.order = append(s.order, p.ID())
+		if !p.Decided() {
+			s.undecided++
+		}
 	}
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
 	return s
@@ -186,20 +191,33 @@ func (s *Scheduler) dispatch(from ids.ID, sends []Send) {
 	}
 }
 
-// Run executes events until the horizon (or until the queue drains, or
-// every process decided). It returns the number of events processed.
+// Run executes events up to and including the horizon (or until the
+// queue drains, or every process decided). It returns the cumulative
+// number of events processed.
+//
+// Run may be called repeatedly with growing horizons: Init runs only on
+// the first call, events beyond the horizon stay queued for the next
+// call, and the clock advances to the horizon even when no event lands
+// exactly on it, so timers set after Run are relative to the horizon.
 func (s *Scheduler) Run(horizon float64) int {
-	heap.Init(&s.queue)
-	for _, id := range s.order {
-		p := s.procs[id]
-		ctx := &Context{Now: 0, sched: s, self: id}
-		s.dispatch(id, p.Init(ctx))
-	}
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(event)
-		if e.at > horizon {
-			break
+	if !s.started {
+		s.started = true
+		heap.Init(&s.queue)
+		for _, id := range s.order {
+			p := s.procs[id]
+			decidedBefore := p.Decided()
+			ctx := &Context{Now: s.now, sched: s, self: id}
+			s.dispatch(id, p.Init(ctx))
+			if !decidedBefore && p.Decided() {
+				s.undecided--
+			}
 		}
+	}
+	for s.undecided > 0 && len(s.queue) > 0 {
+		if s.queue[0].at > horizon {
+			break // past the horizon: leave it queued for the next Run
+		}
+		e := heap.Pop(&s.queue).(event)
 		s.now = e.at
 		p := s.procs[e.to]
 		if p == nil || p.Decided() {
@@ -214,20 +232,14 @@ func (s *Scheduler) Run(horizon float64) int {
 		}
 		s.dispatch(e.to, sends)
 		s.events++
-		if s.allDecided() {
-			break
+		if p.Decided() {
+			s.undecided--
 		}
+	}
+	if s.now < horizon {
+		s.now = horizon
 	}
 	return s.events
-}
-
-func (s *Scheduler) allDecided() bool {
-	for _, p := range s.procs {
-		if !p.Decided() {
-			return false
-		}
-	}
-	return true
 }
 
 // Now returns the current simulation time.

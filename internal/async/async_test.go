@@ -152,6 +152,77 @@ func TestSchedulerDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunResumableAcrossHorizons is the regression test for three
+// scheduler bugs fixed together: (1) Run popped-and-discarded the first
+// event past the horizon instead of leaving it queued; (2) Run never
+// advanced Now() to the horizon; (3) a second Run call re-ran Init on
+// every process, double-dispatching the initial broadcasts. A run
+// chopped into horizon slices must be indistinguishable from one
+// uninterrupted run.
+func TestRunResumableAcrossHorizons(t *testing.T) {
+	build := func() ([]async.Process, []*async.ClosureGossip) {
+		rng := ids.NewRand(21)
+		all := ids.Sparse(rng, 6)
+		return makeGossip(all, 4)
+	}
+
+	procs, nodes := build()
+	one := async.NewScheduler(procs, async.UniformDelay(ids.NewRand(99), 0.4, 0.5))
+	oneEvents := one.Run(1e6)
+
+	procs2, nodes2 := build()
+	sliced := async.NewScheduler(procs2, async.UniformDelay(ids.NewRand(99), 0.4, 0.5))
+	var slicedEvents int
+	for _, h := range []float64{0.45, 0.9, 1.8, 1e6} {
+		slicedEvents = sliced.Run(h)
+	}
+	if slicedEvents != oneEvents {
+		t.Fatalf("sliced horizons processed %d events, uninterrupted run %d (double-Init or a discarded horizon event)",
+			slicedEvents, oneEvents)
+	}
+	for i := range nodes {
+		if nodes[i].Decided() != nodes2[i].Decided() || nodes[i].Value() != nodes2[i].Value() || nodes[i].Known() != nodes2[i].Known() {
+			t.Fatalf("node %d state diverged: uninterrupted decided=%v value=%d known=%d, sliced decided=%v value=%d known=%d",
+				nodes[i].ID(), nodes[i].Decided(), nodes[i].Value(), nodes[i].Known(),
+				nodes2[i].Decided(), nodes2[i].Value(), nodes2[i].Known())
+		}
+	}
+}
+
+func TestRunLeavesPostHorizonEventsQueued(t *testing.T) {
+	// Two nodes, delays of exactly 1.0: the round-1 Hellos land at t=1,
+	// beyond a horizon of 0.5. The old scheduler popped one of them and
+	// threw it away; after the fix both must still be delivered by a
+	// later Run.
+	rng := ids.NewRand(31)
+	all := ids.Sparse(rng, 2)
+	procs, nodes := makeGossip(all, 1)
+	s := async.NewScheduler(procs, async.UniformDelay(ids.NewRand(0), 1.0, 1.0))
+	if got := s.Run(0.5); got != 0 {
+		t.Fatalf("processed %d events before the horizon, want 0", got)
+	}
+	if s.Now() != 0.5 {
+		t.Fatalf("Now() = %v after Run(0.5), want the horizon", s.Now())
+	}
+	s.Run(10)
+	for _, n := range nodes {
+		if n.Known() != 2 {
+			t.Fatalf("node %d knows %d participants after resuming, want 2 (a queued event was lost)", n.ID(), n.Known())
+		}
+	}
+}
+
+func TestRunAdvancesClockToHorizon(t *testing.T) {
+	rng := ids.NewRand(41)
+	all := ids.Sparse(rng, 4)
+	procs, _ := makeGossip(all, 2)
+	s := async.NewScheduler(procs, async.UniformDelay(ids.NewRand(7), 0.1, 0.2))
+	s.Run(50)
+	if s.Now() != 50 {
+		t.Fatalf("Now() = %v after Run(50), want 50", s.Now())
+	}
+}
+
 func TestWideDelaySpreadCanSplitClosure(t *testing.T) {
 	// The flip side of the benign test: with a wide delay band the
 	// closure rule terminates prematurely in some executions and the

@@ -385,3 +385,48 @@ func (n *Node) sessionOrder() []int {
 	sort.Ints(out)
 	return out
 }
+
+// PrefixViolations counts node pairs whose chains are not prefixes of
+// one another, restricted to the sessions both cover so that joiners
+// (whose chains start at their join round) compare fairly. Zero is the
+// chain-prefix guarantee of Theorem 6; the experiments and the scenario
+// engine both use this as the agreement checker.
+func PrefixViolations(nodes []*Node) int {
+	violations := 0
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i].Chain(), nodes[j].Chain()
+			// Align on the later starting session.
+			start := 0
+			if len(a) > 0 && len(b) > 0 {
+				s := a[0].Session
+				if b[0].Session > s {
+					s = b[0].Session
+				}
+				start = s
+			}
+			var fa, fb []Event
+			for _, e := range a {
+				if e.Session >= start {
+					fa = append(fa, e)
+				}
+			}
+			for _, e := range b {
+				if e.Session >= start {
+					fb = append(fb, e)
+				}
+			}
+			m := len(fa)
+			if len(fb) < m {
+				m = len(fb)
+			}
+			for k := 0; k < m; k++ {
+				if fa[k] != fb[k] {
+					violations++
+					break
+				}
+			}
+		}
+	}
+	return violations
+}

@@ -119,7 +119,7 @@ func TestGridDeterminismAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestPresetGridSizes(t *testing.T) {
-	for name, want := range map[string]int{"small": 120, "medium": 360, "large": 800} {
+	for name, want := range map[string]int{"small": 288, "medium": 864, "large": 1920} {
 		g, err := PresetGrid(name)
 		if err != nil {
 			t.Fatal(err)
@@ -130,6 +130,137 @@ func TestPresetGridSizes(t *testing.T) {
 	}
 	if _, err := PresetGrid("nope"); err == nil {
 		t.Fatal("unknown grid accepted")
+	}
+}
+
+func TestProtocolsIncludeDynamic(t *testing.T) {
+	found := false
+	for _, p := range Protocols() {
+		if p == ProtoDynamic {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Protocols() does not include the dynamic ordering protocol")
+	}
+}
+
+// TestChurnScenarioDeterminism is the churn half of the engine's
+// determinism contract: a grid of churned dynamic scenarios produces
+// byte-identical canonical reports at workers=1 and workers=4, and with
+// per-round sharding (SimWorkers=4) enabled inside every run.
+func TestChurnScenarioDeterminism(t *testing.T) {
+	grid := Grid{
+		Name:        "churn-test",
+		Protocols:   []string{ProtoDynamic, ProtoRBroadcast, ProtoConsensus},
+		Adversaries: []string{AdvSilent, AdvSplit},
+		// n = 11 → f = 3 leaves headroom for one graceful leave
+		// (n - 3f - 1 = 1), so the leave path is under the determinism
+		// check too.
+		Sizes:  []int{11},
+		Seeds:  seedRange(3),
+		Churns: []Churn{{Joins: 2, Leaves: 1, FaultyJoins: 1, FaultyLeaves: 1}},
+	}
+	seq := RunAll(grid.Scenarios(), Options{Workers: 1, Grid: grid.Name})
+	par := RunAll(grid.Scenarios(), Options{Workers: 4, Grid: grid.Name})
+	if !bytes.Equal(seq.Canonical(), par.Canonical()) {
+		t.Fatal("churn grid canonical reports differ between workers=1 and workers=4")
+	}
+	sharded := grid
+	sharded.SimWorkers = 4
+	shr := RunAll(sharded.Scenarios(), Options{Workers: 4, Grid: grid.Name})
+	if !bytes.Equal(seq.Canonical(), shr.Canonical()) {
+		t.Fatal("churn grid canonical report differs when sim.Config.Workers = 4")
+	}
+	if errs := seq.Errors(); len(errs) != 0 {
+		t.Fatalf("churn grid produced %d errors, first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
+	}
+}
+
+// TestChurnApplied checks that a churn spec actually moves membership:
+// joins and leaves are applied, the peak exceeds the start and the
+// minimum dips below it.
+func TestChurnApplied(t *testing.T) {
+	res := Scenario{
+		Protocol:  ProtoDynamic,
+		Adversary: AdvSplit,
+		N:         10, F: 2, Seed: 5,
+		Churn: &Churn{Joins: 2, Leaves: 1, FaultyJoins: 1, FaultyLeaves: 1},
+	}.Run()
+	if res.Err != "" {
+		t.Fatalf("churned scenario failed: %s", res.Err)
+	}
+	// 2 correct joins + 1 late faulty join; 1 graceful leave + 1 faulty
+	// removal (the leaver departs only after its sessions drain, so
+	// Leaves may lag but the removal is unconditional).
+	if res.Joins != 3 {
+		t.Fatalf("joins applied = %d, want 3", res.Joins)
+	}
+	if res.Leaves < 1 {
+		t.Fatalf("leaves applied = %d, want >= 1", res.Leaves)
+	}
+	if res.PeakMembers <= 9 {
+		t.Fatalf("peak membership %d never exceeded the initial 9 (n=10 with one faulty held back)", res.PeakMembers)
+	}
+	if res.MinMembers >= res.PeakMembers {
+		t.Fatalf("membership never dipped: min %d, peak %d", res.MinMembers, res.PeakMembers)
+	}
+	if !res.DecidedNA {
+		t.Fatal("dynamic scenario not marked decided-n/a")
+	}
+	if res.FinalityLag <= 0 {
+		t.Fatalf("finality lag %d, want > 0", res.FinalityLag)
+	}
+}
+
+func TestChurnValidate(t *testing.T) {
+	bad := []Scenario{
+		// correct-node churn on a protocol with no join discipline
+		{Protocol: ProtoConsensus, Adversary: AdvSilent, N: 7, F: 2, Seed: 1, Churn: &Churn{Joins: 1}},
+		// leaves through the resiliency floor: 7-1 = 6 <= 3*2
+		{Protocol: ProtoDynamic, Adversary: AdvSilent, N: 7, F: 2, Seed: 1, Churn: &Churn{Leaves: 1}},
+		// more faulty churn than faulty nodes
+		{Protocol: ProtoDynamic, Adversary: AdvSilent, N: 7, F: 2, Seed: 1, Churn: &Churn{FaultyJoins: 2, FaultyLeaves: 1}},
+		// negative field
+		{Protocol: ProtoDynamic, Adversary: AdvSilent, N: 7, F: 0, Seed: 1, Churn: &Churn{Joins: -1}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Validate accepted churn spec %+v", s.Churn)
+		}
+	}
+	ok := Scenario{Protocol: ProtoDynamic, Adversary: AdvSilent, N: 10, F: 2, Seed: 1,
+		Churn: &Churn{Joins: 1, Leaves: 1, FaultyJoins: 1, FaultyLeaves: 1}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected a legal churn spec: %v", err)
+	}
+}
+
+// TestRBroadcastDecidedReporting is the regression test for the decided
+// misreport: rbroadcast cells used to print "decided 0/N" even when
+// every node accepted, because Node.Decided is hard-coded false (the
+// protocol defers termination to its host). The decided column now
+// reports acceptance.
+func TestRBroadcastDecidedReporting(t *testing.T) {
+	res := Scenario{Protocol: ProtoRBroadcast, Adversary: AdvNone, N: 5, Seed: 2}.Run()
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if !res.AllDecided || res.DecidedNodes != 5 || res.DecidedOf != 5 {
+		t.Fatalf("rbroadcast decided reporting: all=%v %d/%d, want 5/5",
+			res.AllDecided, res.DecidedNodes, res.DecidedOf)
+	}
+	rep := RunAll([]Scenario{
+		{Protocol: ProtoRBroadcast, Adversary: AdvNone, N: 5, Seed: 2},
+		{Protocol: ProtoDynamic, Adversary: AdvNone, N: 4, Seed: 2},
+	}, Options{Workers: 1})
+	var txt bytes.Buffer
+	rep.WriteText(&txt)
+	if strings.Contains(txt.String(), "0/1") {
+		t.Fatalf("report still shows a decided 0/N cell:\n%s", txt.String())
+	}
+	if !strings.Contains(txt.String(), "n/a") {
+		t.Fatalf("dynamic cell not rendered n/a:\n%s", txt.String())
 	}
 }
 

@@ -17,6 +17,26 @@ type Result struct {
 	Err               string   `json:"err,omitempty"`
 	WallNS            int64    `json:"wall_ns,omitempty"`
 
+	// Decided-column detail. DecidedNodes/DecidedOf count the nodes
+	// that reached the protocol's terminal predicate — for reliable
+	// broadcast that is acceptance of the source's message (the Process
+	// interface's Decided is always false there by design). DecidedNA
+	// marks protocols with no terminal predicate at all (the dynamic
+	// ordering service), whose cells render "n/a" instead of 0/N.
+	DecidedNodes int  `json:"decided_nodes"`
+	DecidedOf    int  `json:"decided_of"`
+	DecidedNA    bool `json:"decided_na,omitempty"`
+
+	// Churn-aware metrics: membership extremes over the run, the
+	// membership events actually applied, and — for the dynamic
+	// ordering protocol — the worst finality lag (protocol round minus
+	// final round) over the surviving nodes.
+	Joins       int `json:"joins,omitempty"`
+	Leaves      int `json:"leaves,omitempty"`
+	PeakMembers int `json:"peak_members,omitempty"`
+	MinMembers  int `json:"min_members,omitempty"`
+	FinalityLag int `json:"finality_lag,omitempty"`
+
 	// InboxGrows is sim.Metrics.InboxGrows: deliveries that forced a
 	// pooled inbox buffer to grow. It is deterministic, but it gauges
 	// allocation pressure, not protocol cost.
@@ -24,12 +44,13 @@ type Result struct {
 }
 
 // GroupKey identifies an aggregation bucket: all seeds of one
-// (protocol, adversary, n, f) cell collapse into one Group.
+// (protocol, adversary, n, f, churn) cell collapse into one Group.
 type GroupKey struct {
 	Protocol  string `json:"protocol"`
 	Adversary string `json:"adversary"`
 	N         int    `json:"n"`
 	F         int    `json:"f"`
+	Churn     string `json:"churn,omitempty"` // Churn.Label of the cell's spec
 }
 
 func (k GroupKey) less(o GroupKey) bool {
@@ -42,22 +63,34 @@ func (k GroupKey) less(o GroupKey) bool {
 	if k.N != o.N {
 		return k.N < o.N
 	}
-	return k.F < o.F
+	if k.F != o.F {
+		return k.F < o.F
+	}
+	return k.Churn < o.Churn
 }
 
 // Group is the aggregate over every seed of one grid cell: round and
-// message percentiles plus decision and error counts.
+// message percentiles plus decision, churn and error counts.
 type Group struct {
 	Key        GroupKey `json:"key"`
 	Count      int      `json:"count"`
 	Errors     int      `json:"errors"`
-	DecidedAll int      `json:"decided_all"` // runs where every correct node decided
+	DecidedAll int      `json:"decided_all"`          // runs where every counted node decided
+	DecidedNA  bool     `json:"decided_na,omitempty"` // protocol has no terminal predicate; render n/a
 	RoundsP50  int      `json:"rounds_p50"`
 	RoundsP90  int      `json:"rounds_p90"`
 	RoundsMax  int      `json:"rounds_max"`
 	MsgsP50    int64    `json:"msgs_p50"`
 	MsgsP90    int64    `json:"msgs_p90"`
 	MsgsMax    int64    `json:"msgs_max"`
+
+	// Churn aggregates: total membership events applied across the
+	// bucket's runs and the finality-lag spread (dynamic protocol only;
+	// zero elsewhere).
+	Joins  int `json:"joins,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
+	LagP50 int `json:"lag_p50,omitempty"`
+	LagMax int `json:"lag_max,omitempty"`
 }
 
 // Aggregate buckets results by GroupKey and computes per-bucket
@@ -69,6 +102,9 @@ func Aggregate(results []Result) []Group {
 	buckets := make(map[GroupKey][]Result)
 	for _, r := range results {
 		k := GroupKey{Protocol: r.Scenario.Protocol, Adversary: r.Scenario.Adversary, N: r.Scenario.N, F: r.Scenario.F}
+		if r.Scenario.Churn != nil {
+			k.Churn = r.Scenario.Churn.Label()
+		}
 		buckets[k] = append(buckets[k], r)
 	}
 	keys := make([]GroupKey, 0, len(buckets))
@@ -80,8 +116,8 @@ func Aggregate(results []Result) []Group {
 	groups := make([]Group, 0, len(keys))
 	for _, k := range keys {
 		rs := buckets[k]
-		g := Group{Key: k, Count: len(rs)}
-		var rounds []int
+		g := Group{Key: k, Count: len(rs), DecidedNA: true}
+		var rounds, lags []int
 		var msgs []int64
 		for _, r := range rs {
 			if r.Err != "" {
@@ -91,10 +127,20 @@ func Aggregate(results []Result) []Group {
 			if r.AllDecided {
 				g.DecidedAll++
 			}
+			if !r.DecidedNA {
+				g.DecidedNA = false
+			}
+			g.Joins += r.Joins
+			g.Leaves += r.Leaves
 			rounds = append(rounds, r.Rounds)
+			lags = append(lags, r.FinalityLag)
 			msgs = append(msgs, r.MessagesDelivered)
 		}
+		if len(rounds) == 0 {
+			g.DecidedNA = false // all-error bucket: nothing to render n/a
+		}
 		sort.Ints(rounds)
+		sort.Ints(lags)
 		sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
 		if len(rounds) > 0 {
 			g.RoundsP50 = rounds[rank(50, len(rounds))]
@@ -103,6 +149,8 @@ func Aggregate(results []Result) []Group {
 			g.MsgsP50 = msgs[rank(50, len(msgs))]
 			g.MsgsP90 = msgs[rank(90, len(msgs))]
 			g.MsgsMax = msgs[len(msgs)-1]
+			g.LagP50 = lags[rank(50, len(lags))]
+			g.LagMax = lags[len(lags)-1]
 		}
 		groups = append(groups, g)
 	}

@@ -66,19 +66,37 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // WriteText emits a human-readable summary: one line per aggregation
 // cell, then any errors, then the timing footer.
+//
+// The decided column follows each protocol's actual terminal
+// predicate: x/y runs in which every counted node reached it (for
+// reliable broadcast, acceptance of the source's message), or "n/a"
+// for protocols with no terminal predicate at all (the dynamic
+// ordering service, which runs until the simulation stops). The lag
+// column is the worst finality lag of the dynamic protocol's surviving
+// nodes ("-" elsewhere).
 func (r *Report) WriteText(w io.Writer) {
 	if r.Grid != "" {
 		fmt.Fprintf(w, "grid %s: %d scenarios\n", r.Grid, r.Scenarios)
 	} else {
 		fmt.Fprintf(w, "%d scenarios\n", r.Scenarios)
 	}
-	fmt.Fprintf(w, "%-11s %-7s %5s %4s  %5s %8s %8s  %13s %13s  %s\n",
-		"protocol", "adv", "n", "f", "runs", "rnd p50", "rnd max", "msgs p50", "msgs max", "decided")
+	fmt.Fprintf(w, "%-11s %-7s %5s %4s %-15s  %5s %8s %8s  %13s %13s  %-7s %s\n",
+		"protocol", "adv", "n", "f", "churn", "runs", "rnd p50", "rnd max", "msgs p50", "msgs max", "decided", "lag max")
 	for _, g := range r.Groups {
-		fmt.Fprintf(w, "%-11s %-7s %5d %4d  %5d %8d %8d  %13d %13d  %d/%d\n",
-			g.Key.Protocol, g.Key.Adversary, g.Key.N, g.Key.F,
+		churn := g.Key.Churn
+		if churn == "" {
+			churn = "-"
+		}
+		decided := fmt.Sprintf("%d/%d", g.DecidedAll, g.Count)
+		lag := "-"
+		if g.DecidedNA {
+			decided = "n/a"
+			lag = fmt.Sprint(g.LagMax)
+		}
+		fmt.Fprintf(w, "%-11s %-7s %5d %4d %-15s  %5d %8d %8d  %13d %13d  %-7s %s\n",
+			g.Key.Protocol, g.Key.Adversary, g.Key.N, g.Key.F, churn,
 			g.Count, g.RoundsP50, g.RoundsMax, g.MsgsP50, g.MsgsMax,
-			g.DecidedAll, g.Count)
+			decided, lag)
 	}
 	for _, e := range r.Errors() {
 		fmt.Fprintf(w, "ERROR %s: %s\n", e.Scenario.Name, e.Err)

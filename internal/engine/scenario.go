@@ -10,6 +10,7 @@ import (
 	"idonly/internal/adversary"
 	"idonly/internal/core/approx"
 	"idonly/internal/core/consensus"
+	"idonly/internal/core/dynamic"
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
 	"idonly/internal/core/rotor"
@@ -24,6 +25,7 @@ const (
 	ProtoConsensus  = "consensus"  // Algorithm 3, id-only consensus
 	ProtoApprox     = "approx"     // Algorithm 4, iterated approximate agreement
 	ProtoParallel   = "parallel"   // Algorithm 5, parallel consensus
+	ProtoDynamic    = "dynamic"    // Algorithm 6, total ordering in a dynamic network
 )
 
 // Adversary names accepted by Scenario.Adversary. "split" resolves to
@@ -39,12 +41,140 @@ const (
 
 // Protocols returns every protocol name in canonical order.
 func Protocols() []string {
-	return []string{ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel}
+	return []string{ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel, ProtoDynamic}
 }
 
 // Adversaries returns every adversary name in canonical order.
 func Adversaries() []string {
 	return []string{AdvNone, AdvSilent, AdvSplit, AdvChaos, AdvReplay}
+}
+
+// Churn declares mid-run membership change — the paper's defining
+// setting, in which participants come and go while neither n nor f is
+// known. The spec is declarative: it names counts and a round window,
+// and the concrete join/leave rounds are resolved deterministically
+// from Scenario.Seed (churnPlan), so a churned scenario is still a pure
+// value and runs bit-identically at any worker count.
+//
+// Joins and Leaves drive correct participants and require a protocol
+// with a join/leave discipline (ProtoDynamic: joiners run the
+// present/ack protocol, leavers broadcast "absent" and drain their
+// sessions — sim.Leaver). FaultyJoins holds back that many of the F
+// faulty nodes to enter mid-run instead of at round 1; FaultyLeaves
+// silently removes faulty nodes mid-run (the adversary decides when its
+// nodes leave, per the dynamic model). Both faulty axes apply to every
+// protocol.
+type Churn struct {
+	Joins        int `json:"joins,omitempty"`         // correct participants joining mid-run
+	Leaves       int `json:"leaves,omitempty"`        // correct founders leaving mid-run
+	FaultyJoins  int `json:"faulty_joins,omitempty"`  // faulty nodes entering mid-run instead of at start
+	FaultyLeaves int `json:"faulty_leaves,omitempty"` // faulty nodes removed mid-run
+	Window       int `json:"window,omitempty"`        // churn rounds drawn from [3, 3+Window); 0 = MaxRounds/2
+}
+
+// IsZero reports whether the spec declares no churn at all.
+func (c Churn) IsZero() bool {
+	return c.Joins == 0 && c.Leaves == 0 && c.FaultyJoins == 0 && c.FaultyLeaves == 0
+}
+
+// Label renders the spec as a compact cell label ("j1,l1,fj1,fl1");
+// empty for the zero spec. Group keys and scenario names use it.
+func (c Churn) Label() string {
+	if c.IsZero() {
+		return ""
+	}
+	var parts []string
+	if c.Joins > 0 {
+		parts = append(parts, fmt.Sprintf("j%d", c.Joins))
+	}
+	if c.Leaves > 0 {
+		parts = append(parts, fmt.Sprintf("l%d", c.Leaves))
+	}
+	if c.FaultyJoins > 0 {
+		parts = append(parts, fmt.Sprintf("fj%d", c.FaultyJoins))
+	}
+	if c.FaultyLeaves > 0 {
+		parts = append(parts, fmt.Sprintf("fl%d", c.FaultyLeaves))
+	}
+	return strings.Join(parts, ",")
+}
+
+// clampFor sanitizes the spec for one grid cell: correct-node churn is
+// only meaningful for the dynamic protocol, faulty churn is bounded by
+// the cell's fault budget, and leaves may not push the system through
+// the n > 3f resiliency floor.
+func (c Churn) clampFor(proto string, n, f int) Churn {
+	if proto != ProtoDynamic {
+		c.Joins, c.Leaves = 0, 0
+	}
+	if c.FaultyJoins > f {
+		c.FaultyJoins = f
+	}
+	if c.FaultyLeaves > f-c.FaultyJoins {
+		c.FaultyLeaves = f - c.FaultyJoins
+	}
+	if maxLeaves := n - 3*f - 1; c.Leaves > maxLeaves {
+		c.Leaves = maxLeaves
+	}
+	if c.Leaves > n-f-1 {
+		c.Leaves = n - f - 1
+	}
+	if c.Leaves < 0 {
+		c.Leaves = 0
+	}
+	return c
+}
+
+// churnPlan is a Churn spec resolved against a concrete scenario: the
+// exact rounds at which each membership event fires, derived from the
+// scenario seed alone.
+type churnPlan struct {
+	joinRounds   []int // joiner i runs the join protocol starting at joinRounds[i]
+	leaveRounds  []int // the j-th highest-indexed correct founder announces departure at leaveRounds[j]
+	faultyJoins  []int // rounds at which the held-back faulty nodes enter
+	faultyLeaves []int // rounds after which faulty node i is removed
+}
+
+// churnPlan resolves the scenario's churn spec. The generator is salted
+// so the plan shares no stream with id generation or the adversary: a
+// zero spec leaves every other draw — and therefore every churn-free
+// result — exactly as it was.
+func (s Scenario) churnPlan() churnPlan {
+	if s.Churn == nil || s.Churn.IsZero() {
+		return churnPlan{}
+	}
+	c := *s.Churn
+	w := c.Window
+	if w <= 0 {
+		w = s.MaxRounds / 2
+	}
+	// Keep every churn round inside the run: an event scheduled past
+	// MaxRounds would silently never fire and the result would
+	// undercount the spec.
+	if w > s.MaxRounds-3 {
+		w = s.MaxRounds - 3
+	}
+	if w < 1 {
+		w = 1
+	}
+	rng := ids.NewRand(s.Seed ^ 0x636875726e) // "churn"
+	draw := func(k int) []int {
+		if k == 0 {
+			return nil
+		}
+		out := make([]int, k)
+		for i := range out {
+			out[i] = 3 + rng.Intn(w)
+		}
+		sort.Ints(out)
+		return out
+	}
+	return churnPlan{
+		joinRounds:   draw(c.Joins),
+		leaveRounds:  draw(c.Leaves),
+		faultyJoins:  draw(c.FaultyJoins),
+		faultyLeaves: draw(c.FaultyLeaves),
+	}
 }
 
 // Scenario is one declarative simulation run: a protocol, an adversary
@@ -62,6 +192,11 @@ type Scenario struct {
 	MaxRounds int    `json:"max_rounds"`      // 0 means a protocol-specific default
 	Pairs     int    `json:"pairs,omitempty"` // parallel consensus width; 0 means 4
 
+	// Churn declares mid-run membership change; nil means a static
+	// system. The spec is never mutated, so sharing the pointer across
+	// scenarios is safe and the scenario stays a pure value.
+	Churn *Churn `json:"churn,omitempty"`
+
 	// SimWorkers is passed to sim.Config.Workers: > 1 shards each
 	// round's Step calls inside the single run. It never changes
 	// results (the sim merges outboxes in increasing-id order), so it is
@@ -77,6 +212,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Pairs <= 0 {
 		s.Pairs = 4
 	}
+	if s.Churn != nil && s.Churn.IsZero() {
+		s.Churn = nil
+	}
 	if s.MaxRounds <= 0 {
 		switch s.Protocol {
 		case ProtoRBroadcast:
@@ -87,12 +225,19 @@ func (s Scenario) withDefaults() Scenario {
 			s.MaxRounds = 14
 		case ProtoParallel:
 			s.MaxRounds = 80 * (s.F + 2)
+		case ProtoDynamic:
+			// Long enough for the first sessions to clear the Theorem 6
+			// finality bound (5|S|/2 + 2) and grow a chain.
+			s.MaxRounds = 5*s.N/2 + 25
 		default:
 			s.MaxRounds = 60 * (s.F + 2)
 		}
 	}
 	if s.Name == "" {
 		s.Name = fmt.Sprintf("%s/%s/n=%d/f=%d/seed=%d", s.Protocol, s.Adversary, s.N, s.F, s.Seed)
+		if s.Churn != nil {
+			s.Name += "/churn=" + s.Churn.Label()
+		}
 	}
 	return s
 }
@@ -101,7 +246,7 @@ func (s Scenario) withDefaults() Scenario {
 func (s Scenario) Validate() error {
 	s = s.withDefaults()
 	switch s.Protocol {
-	case ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel:
+	case ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel, ProtoDynamic:
 	default:
 		return fmt.Errorf("engine: unknown protocol %q", s.Protocol)
 	}
@@ -115,6 +260,27 @@ func (s Scenario) Validate() error {
 	}
 	if s.F < 0 || s.N <= 3*s.F {
 		return fmt.Errorf("engine: scenario %q violates n > 3f (n=%d, f=%d)", s.Name, s.N, s.F)
+	}
+	if c := s.Churn; c != nil {
+		if c.Joins < 0 || c.Leaves < 0 || c.FaultyJoins < 0 || c.FaultyLeaves < 0 || c.Window < 0 {
+			return fmt.Errorf("engine: scenario %q has a negative churn field", s.Name)
+		}
+		if (c.Joins > 0 || c.Leaves > 0) && s.Protocol != ProtoDynamic {
+			return fmt.Errorf("engine: scenario %q declares correct-node churn for %q (only %q has a join/leave discipline)",
+				s.Name, s.Protocol, ProtoDynamic)
+		}
+		if c.Leaves >= s.N-s.F {
+			return fmt.Errorf("engine: scenario %q would lose every correct founder (leaves=%d, correct=%d)",
+				s.Name, c.Leaves, s.N-s.F)
+		}
+		if s.N-c.Leaves <= 3*s.F {
+			return fmt.Errorf("engine: scenario %q churns through the resiliency floor (n-leaves=%d, f=%d)",
+				s.Name, s.N-c.Leaves, s.F)
+		}
+		if c.FaultyJoins+c.FaultyLeaves > s.F {
+			return fmt.Errorf("engine: scenario %q over-allocates faulty churn (fj=%d + fl=%d > f=%d)",
+				s.Name, c.FaultyJoins, c.FaultyLeaves, s.F)
+		}
 	}
 	return nil
 }
@@ -138,47 +304,111 @@ func (s Scenario) Run() (res Result) {
 		return res
 	}
 
+	plan := s.churnPlan()
 	rng := ids.NewRand(s.Seed)
-	all := ids.Sparse(rng, s.N)
-	correct := all[:s.N-s.F]
-	faulty := all[s.N-s.F:]
+	all := ids.Sparse(rng, s.N+len(plan.joinRounds))
+	founders := all[:s.N] // present at round 1 (minus the held-back faulty)
+	joiners := all[s.N:]
+	correct := founders[:s.N-s.F]
+	faulty := founders[s.N-s.F:]
+	nLate := len(plan.faultyJoins)
+	early := faulty[:len(faulty)-nLate]
+	late := faulty[len(faulty)-nLate:]
 
-	procs, digest, stopDecided := buildProtocol(s, correct)
+	pr := buildProtocol(s, correct, founders, plan)
 	var adv sim.Adversary
 	if len(faulty) > 0 {
-		adv = buildAdversary(s, all, correct, rng)
+		adv = buildAdversary(s, founders, correct, rng)
 	}
 	run := sim.NewRunner(sim.Config{
 		MaxRounds:          s.MaxRounds,
-		StopWhenAllDecided: stopDecided,
+		StopWhenAllDecided: pr.stopDecided,
 		Workers:            s.SimWorkers,
-	}, procs, faulty, adv)
-	m := run.Run(nil)
+	}, pr.procs, early, adv)
+
+	// Compile the churn plan onto the runner's membership hooks. Leaves
+	// were already compiled into the leavers' own configuration (the
+	// dynamic protocol's graceful-departure discipline, sim.Leaver);
+	// faulty removals fire between rounds through the stop callback
+	// (membership must not change mid-round).
+	for i, round := range plan.joinRounds {
+		run.ScheduleJoin(round, pr.join(joiners[i]))
+	}
+	for i, round := range plan.faultyJoins {
+		run.ScheduleFaultyJoin(round, late[i])
+	}
+	var stop func(int) bool
+	if len(plan.faultyLeaves) > 0 {
+		removals := make(map[int][]ids.ID, len(plan.faultyLeaves))
+		for i, round := range plan.faultyLeaves {
+			removals[round] = append(removals[round], early[i])
+		}
+		stop = func(round int) bool {
+			for _, id := range removals[round] {
+				run.RemoveFaulty(id)
+			}
+			delete(removals, round)
+			return false
+		}
+	}
+	m := run.Run(stop)
 
 	res.Rounds = m.Rounds
 	res.MessagesDelivered = m.MessagesDelivered
 	res.MessagesDropped = m.MessagesDropped
 	res.InboxGrows = m.InboxGrows
-	res.AllDecided = true
-	for _, p := range procs {
-		if !p.Decided() {
-			res.AllDecided = false
+	res.Joins = m.Joins
+	res.Leaves = m.Leaves
+	res.PeakMembers = m.PeakNodes
+	res.MinMembers = m.MinNodes
+	if pr.decided != nil {
+		res.DecidedNodes, res.DecidedOf, res.DecidedNA = pr.decided()
+	} else {
+		// Default terminal predicate: every correct process decided.
+		// Churn-aware: a process that legitimately left the system does
+		// not count as undecided.
+		for _, p := range pr.procs {
+			if l, ok := p.(sim.Leaver); ok && l.Left() {
+				continue
+			}
+			res.DecidedOf++
+			if p.Decided() {
+				res.DecidedNodes++
+			}
 		}
 	}
+	res.AllDecided = !res.DecidedNA && res.DecidedNodes == res.DecidedOf
 	for _, r := range m.DecidedRound {
 		if r > res.DecidedRoundMax {
 			res.DecidedRoundMax = r
 		}
 	}
-	res.Output = digest()
+	res.Output = pr.digest()
+	if pr.finish != nil {
+		pr.finish(&res)
+	}
 	return res
 }
 
-// buildProtocol constructs the correct processes for the scenario and
-// returns them with a digest function (a deterministic one-line summary
-// of the protocol outcome, evaluated after the run) and whether the
-// runner should stop once all nodes decided.
-func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, bool) {
+// protocolRun couples a scenario's constructed processes with its
+// protocol-specific hooks: the outcome digest, the terminal predicate
+// backing the decided column (nil = derive from Process.Decided), the
+// joiner factory for churn, and an optional finisher that fills
+// protocol-specific Result fields (finality lag).
+type protocolRun struct {
+	procs       []sim.Process
+	stopDecided bool
+	digest      func() string
+	decided     func() (done, total int, na bool)
+	finish      func(res *Result)
+	join        func(id ids.ID) sim.Process
+}
+
+// buildProtocol constructs the correct processes for the scenario. The
+// digest is a deterministic one-line summary of the protocol outcome,
+// evaluated after the run; protocols whose agreement property is
+// checkable panic inside it (the runs double as checkers).
+func buildProtocol(s Scenario, correct, founders []ids.ID, plan churnPlan) protocolRun {
 	switch s.Protocol {
 	case ProtoRBroadcast:
 		var nodes []*rbroadcast.Node
@@ -189,7 +419,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			procs = append(procs, nd)
 		}
 		src := correct[0]
-		return procs, func() string {
+		return protocolRun{procs: procs, digest: func() string {
 			accepted, maxRound, forged := 0, 0, 0
 			for _, nd := range nodes {
 				if r, ok := nd.Accepted("m", src); ok {
@@ -203,7 +433,82 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 				}
 			}
 			return fmt.Sprintf("accepted=%d/%d maxRound=%d forged=%d", accepted, len(nodes), maxRound, forged)
-		}, false
+		}, decided: func() (int, int, bool) {
+			// Reliable broadcast never terminates on its own —
+			// Node.Decided is always false by design — so the decided
+			// column reports its actual terminal predicate: acceptance
+			// of the source's message.
+			done := 0
+			for _, nd := range nodes {
+				if _, ok := nd.Accepted("m", src); ok {
+					done++
+				}
+			}
+			return done, len(nodes), false
+		}}
+
+	case ProtoDynamic:
+		var nodes []*dynamic.Node
+		var procs []sim.Process
+		// The last len(leaveRounds) founders are the leavers; the
+		// departure round is part of each node's own configuration (the
+		// protocol's graceful-leave discipline).
+		leaveAt := make(map[int]int, len(plan.leaveRounds))
+		for j, r := range plan.leaveRounds {
+			leaveAt[len(correct)-1-j] = r
+		}
+		for i, id := range correct {
+			// Round-robin witness load: one event per round, rotating
+			// through the correct founders.
+			witness := make(map[int][]string)
+			for r := 1; r <= s.MaxRounds; r++ {
+				if r%len(correct) == i {
+					witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
+				}
+			}
+			nd := dynamic.New(dynamic.Config{ID: id, Founders: founders, Witness: witness, LeaveAt: leaveAt[i]})
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		return protocolRun{procs: procs, digest: func() string {
+			if v := dynamic.PrefixViolations(nodes); v > 0 {
+				panic(fmt.Sprintf("engine: dynamic chain-prefix violated (%d node pairs)", v))
+			}
+			gaps := 0
+			for _, nd := range nodes {
+				if nd.HarvestGap() {
+					gaps++
+				}
+			}
+			// Report the first founder that stayed; its chain is the
+			// longest-lived view of the total order.
+			rep := nodes[0]
+			for _, nd := range nodes {
+				if !nd.Left() {
+					rep = nd
+					break
+				}
+			}
+			return fmt.Sprintf("chain=%d final=%d members=%d gaps=%d",
+				len(rep.Chain()), rep.FinalRound(), len(rep.Members()), gaps)
+		}, decided: func() (int, int, bool) {
+			// The ordering service never decides — it runs until the
+			// simulation stops. Rendered n/a, not 0/N.
+			return 0, 0, true
+		}, finish: func(res *Result) {
+			for _, nd := range nodes {
+				if nd.Left() {
+					continue
+				}
+				if lag := nd.Round() - nd.FinalRound(); lag > res.FinalityLag {
+					res.FinalityLag = lag
+				}
+			}
+		}, join: func(id ids.ID) sim.Process {
+			nd := dynamic.New(dynamic.Config{ID: id}) // joins via the present/ack protocol
+			nodes = append(nodes, nd)
+			return nd
+		}}
 
 	case ProtoRotor:
 		var nodes []*rotor.Node
@@ -213,7 +518,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			nodes = append(nodes, nd)
 			procs = append(procs, nd)
 		}
-		return procs, func() string {
+		return protocolRun{procs: procs, stopDecided: true, digest: func() string {
 			term := 0
 			for _, nd := range nodes {
 				if nd.DoneRound() > term {
@@ -221,7 +526,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 				}
 			}
 			return fmt.Sprintf("term=%d", term)
-		}, true
+		}}
 
 	case ProtoConsensus:
 		var nodes []*consensus.Node
@@ -231,7 +536,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			nodes = append(nodes, nd)
 			procs = append(procs, nd)
 		}
-		return procs, func() string {
+		return protocolRun{procs: procs, stopDecided: true, digest: func() string {
 			phases, decidedRound := 0, 0
 			for _, nd := range nodes {
 				if !nd.Decided() {
@@ -249,7 +554,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			}
 			return fmt.Sprintf("value=%s phases=%d decidedRound=%d",
 				strconv.FormatFloat(nodes[0].Value(), 'g', -1, 64), phases, decidedRound)
-		}, true
+		}}
 
 	case ProtoApprox:
 		const iterations = 8
@@ -260,7 +565,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			nodes = append(nodes, nd)
 			procs = append(procs, nd)
 		}
-		return procs, func() string {
+		return protocolRun{procs: procs, stopDecided: true, digest: func() string {
 			lo, hi := nodes[0].Value(), nodes[0].Value()
 			for _, nd := range nodes {
 				if nd.Value() < lo {
@@ -271,7 +576,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 				}
 			}
 			return fmt.Sprintf("range=%s", strconv.FormatFloat(hi-lo, 'g', 6, 64))
-		}, true
+		}}
 
 	case ProtoParallel:
 		var nodes []*parallel.Node
@@ -285,7 +590,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 			nodes = append(nodes, nd)
 			procs = append(procs, nd)
 		}
-		return procs, func() string {
+		return protocolRun{procs: procs, stopDecided: true, digest: func() string {
 			out := nodes[0].Outputs()
 			for _, nd := range nodes[1:] {
 				other := nd.Outputs()
@@ -308,7 +613,7 @@ func buildProtocol(s Scenario, correct []ids.ID) ([]sim.Process, func() string, 
 				parts = append(parts, fmt.Sprintf("%d=%v", k, out[parallel.PairID(k)]))
 			}
 			return "pairs{" + strings.Join(parts, ",") + "}"
-		}, true
+		}}
 	}
 	panic("engine: buildProtocol on unvalidated scenario")
 }
@@ -343,15 +648,17 @@ func buildAdversary(s Scenario, all, correct []ids.ID, rng *ids.Rand) sim.Advers
 			return adversary.ApproxOutlier{Low: -1e6, High: 1e6, All: all}
 		case ProtoParallel:
 			return adversary.ParaSplit{Pair: 1, X1: parallel.V("a"), X2: parallel.V("b"), All: all}
+		case ProtoDynamic:
+			return adversary.DynEquivEvent{All: all, Every: 2}
 		}
 	}
 	panic(fmt.Sprintf("engine: buildAdversary(%q, %q) on unvalidated scenario", s.Adversary, s.Protocol))
 }
 
 // Grid declares a cross product of scenarios: every protocol × every
-// adversary × every size × every seed. The fault count is the maximum
-// the resiliency bound allows, f = ⌊(n-1)/3⌋ (0 for the "none"
-// adversary).
+// adversary × every size × every churn spec × every seed. The fault
+// count is the maximum the resiliency bound allows, f = ⌊(n-1)/3⌋ (0
+// for the "none" adversary).
 type Grid struct {
 	Name        string   `json:"name"`
 	Protocols   []string `json:"protocols"`
@@ -360,11 +667,21 @@ type Grid struct {
 	Seeds       []uint64 `json:"seeds"`
 	MaxRounds   int      `json:"max_rounds,omitempty"` // 0 = per-protocol default
 	SimWorkers  int      `json:"-"`
+
+	// Churns is the churn axis; empty means one static (zero-churn)
+	// column. Each spec is sanitized per cell (Churn.clampFor): correct
+	// joins/leaves apply only to the dynamic protocol and faulty churn
+	// is bounded by the cell's fault budget.
+	Churns []Churn `json:"churns,omitempty"`
 }
 
 // Scenarios expands the grid in deterministic order: protocol-major,
-// then adversary, size, seed.
+// then adversary, size, churn, seed.
 func (g Grid) Scenarios() []Scenario {
+	churns := g.Churns
+	if len(churns) == 0 {
+		churns = []Churn{{}}
+	}
 	var specs []Scenario
 	for _, proto := range g.Protocols {
 		for _, adv := range g.Adversaries {
@@ -373,16 +690,24 @@ func (g Grid) Scenarios() []Scenario {
 				if adv == AdvNone {
 					f = 0
 				}
-				for _, seed := range g.Seeds {
-					specs = append(specs, Scenario{
-						Protocol:   proto,
-						Adversary:  adv,
-						N:          n,
-						F:          f,
-						Seed:       seed,
-						MaxRounds:  g.MaxRounds,
-						SimWorkers: g.SimWorkers,
-					})
+				for _, ch := range churns {
+					var spec *Churn
+					if cc := ch.clampFor(proto, n, f); !cc.IsZero() {
+						c := cc
+						spec = &c
+					}
+					for _, seed := range g.Seeds {
+						specs = append(specs, Scenario{
+							Protocol:   proto,
+							Adversary:  adv,
+							N:          n,
+							F:          f,
+							Seed:       seed,
+							MaxRounds:  g.MaxRounds,
+							Churn:      spec,
+							SimWorkers: g.SimWorkers,
+						})
+					}
 				}
 			}
 		}
@@ -399,8 +724,20 @@ func seedRange(n int) []uint64 {
 	return out
 }
 
-// PresetGrid returns one of the named benchmark grids: "small" (120
-// scenarios), "medium" (360) or "large" (800).
+// presetChurns is the churn axis of the preset grids: a static column
+// and a fully loaded churn column (joins + graceful leaves on the
+// dynamic protocol, late-entering and mid-run-removed faulty nodes
+// everywhere the fault budget allows).
+func presetChurns() []Churn {
+	return []Churn{
+		{},
+		{Joins: 1, Leaves: 1, FaultyJoins: 1, FaultyLeaves: 1},
+	}
+}
+
+// PresetGrid returns one of the named benchmark grids: "small" (288
+// scenarios), "medium" (864) or "large" (1920). Every grid crosses a
+// static column against a churn column (see presetChurns).
 func PresetGrid(name string) (Grid, error) {
 	switch name {
 	case "small":
@@ -408,24 +745,27 @@ func PresetGrid(name string) (Grid, error) {
 			Name:        "small",
 			Protocols:   Protocols(),
 			Adversaries: []string{AdvSilent, AdvSplit},
-			Sizes:       []int{7, 13},
+			Sizes:       []int{7, 14},
 			Seeds:       seedRange(6),
+			Churns:      presetChurns(),
 		}, nil
 	case "medium":
 		return Grid{
 			Name:        "medium",
 			Protocols:   Protocols(),
 			Adversaries: []string{AdvSilent, AdvSplit, AdvChaos},
-			Sizes:       []int{7, 13, 31},
+			Sizes:       []int{7, 14, 32},
 			Seeds:       seedRange(8),
+			Churns:      presetChurns(),
 		}, nil
 	case "large":
 		return Grid{
 			Name:        "large",
 			Protocols:   Protocols(),
 			Adversaries: []string{AdvSilent, AdvSplit, AdvChaos, AdvReplay},
-			Sizes:       []int{7, 13, 31, 61},
+			Sizes:       []int{7, 14, 32, 62},
 			Seeds:       seedRange(10),
+			Churns:      presetChurns(),
 		}, nil
 	}
 	return Grid{}, fmt.Errorf("engine: unknown grid %q (want small, medium or large)", name)

@@ -3,143 +3,56 @@ package experiments
 import (
 	"fmt"
 
-	"idonly/internal/adversary"
-	"idonly/internal/core/dynamic"
-	"idonly/internal/ids"
-	"idonly/internal/sim"
+	"idonly/internal/engine"
 )
 
 // E9 exercises the dynamic total-ordering protocol (Algorithm 6,
-// Theorem 6): chain-prefix and chain-growth under joins, leaves and an
-// event-equivocating Byzantine node, and the finality lag against the
-// 5|S|/2 + 2 bound.
+// Theorem 6) through the parallel scenario engine: chain-prefix and
+// chain-growth under joins, leaves, faulty churn and an
+// event-equivocating Byzantine adversary, and the finality lag against
+// the 5|S|/2 + 2 bound. Each row is one engine scenario; the engine's
+// dynamic digest panics on a chain-prefix violation (surfacing as an
+// error cell), so a rendered row with "err=0" certifies agreement.
 func E9(seed uint64) []Table {
 	t := Table{
 		ID:    "E9",
 		Title: "dynamic total ordering: churn, prefix violations, finality lag",
 		Claim: "chain-prefix and chain-growth hold; round r final after 5|S|/2+2 rounds (Theorem 6)",
 		Columns: []string{"scenario", "rounds", "chain len", "prefix violations",
-			"finality lag", "bound ⌊5|S|/2⌋+3", "harvest gaps"},
+			"finality lag", "bound ⌊5|S|/2⌋+3", "harvest gaps", "joins", "leaves", "members min..peak"},
 	}
 
-	scenarios := []func() []any{
-		// scenario 1: static founders, events every round
-		func() []any {
-			nodes, lag := dynamicRun(seed, 4, 0, 60, false, false, nil)
-			return []any{"static n=4, f=0", 60, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*4/2 + 3, harvestGaps(nodes)}
-		},
-		// scenario 2: Byzantine event equivocator
-		func() []any {
-			rng := ids.NewRand(seed)
-			all := ids.Sparse(rng, 7)
-			adv := adversary.DynEquivEvent{All: all, Every: 2}
-			nodes, lag := dynamicRunWith(seed, all, 2, 80, false, false, adv)
-			return []any{"n=7, f=2 equivocating events", 80, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*7/2 + 3, harvestGaps(nodes)}
-		},
-		// scenario 3: join at round 10
-		func() []any {
-			nodes, lag := dynamicRun(seed, 4, 0, 70, true, false, nil)
-			return []any{"n=4 + join@10", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2 + 3, harvestGaps(nodes)}
-		},
-		// scenario 4: leave at round 12
-		func() []any {
-			nodes, lag := dynamicRun(seed, 5, 0, 70, false, true, nil)
-			return []any{"n=5 - leave@12", 70, len(nodes[0].Chain()), prefixViolations(nodes), lag, 5*5/2 + 3, harvestGaps(nodes)}
-		},
+	specs := []engine.Scenario{
+		{Name: "static n=4, f=0", Protocol: engine.ProtoDynamic, Adversary: engine.AdvNone,
+			N: 4, Seed: seed, MaxRounds: 60},
+		{Name: "n=7, f=2 equivocating events", Protocol: engine.ProtoDynamic, Adversary: engine.AdvSplit,
+			N: 7, F: 2, Seed: seed, MaxRounds: 80},
+		{Name: "n=4 + join", Protocol: engine.ProtoDynamic, Adversary: engine.AdvNone,
+			N: 4, Seed: seed, MaxRounds: 70, Churn: &engine.Churn{Joins: 1, Window: 10}},
+		{Name: "n=5 - leave", Protocol: engine.ProtoDynamic, Adversary: engine.AdvNone,
+			N: 5, Seed: seed, MaxRounds: 70, Churn: &engine.Churn{Leaves: 1, Window: 10}},
+		{Name: "n=10, f=2 full churn", Protocol: engine.ProtoDynamic, Adversary: engine.AdvSplit,
+			N: 10, F: 2, Seed: seed, MaxRounds: 80,
+			Churn: &engine.Churn{Joins: 2, Leaves: 1, FaultyJoins: 1, FaultyLeaves: 1, Window: 20}},
 	}
-	for _, r := range pmap(len(scenarios), func(i int) []any { return scenarios[i]() }) {
-		t.Row(r...)
+
+	rep := engine.RunAll(specs, engine.Options{Workers: Parallelism})
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			// A prefix violation (or any other invariant break) panics
+			// inside the digest and lands here; render it loudly.
+			t.Row(res.Scenario.Name, res.Rounds, "-", "ERR: "+res.Err, "-", "-", "-", res.Joins, res.Leaves, "-")
+			continue
+		}
+		var chain, final, members, gaps int
+		if _, err := fmt.Sscanf(res.Output, "chain=%d final=%d members=%d gaps=%d",
+			&chain, &final, &members, &gaps); err != nil {
+			t.Row(res.Scenario.Name, res.Rounds, "-", "unparsed digest "+res.Output, "-", "-", "-", res.Joins, res.Leaves, "-")
+			continue
+		}
+		bound := 5*res.PeakMembers/2 + 3
+		t.Row(res.Scenario.Name, res.Rounds, chain, 0, res.FinalityLag, bound, gaps,
+			res.Joins, res.Leaves, fmt.Sprintf("%d..%d", res.MinMembers, res.PeakMembers))
 	}
 	return []Table{t}
-}
-
-func dynamicRun(seed uint64, n, f, rounds int, withJoin, withLeave bool, adv sim.Adversary) ([]*dynamic.Node, int) {
-	rng := ids.NewRand(seed)
-	all := ids.Sparse(rng, n)
-	return dynamicRunWith(seed, all, f, rounds, withJoin, withLeave, adv)
-}
-
-func dynamicRunWith(seed uint64, all []ids.ID, f, rounds int, withJoin, withLeave bool, adv sim.Adversary) ([]*dynamic.Node, int) {
-	n := len(all)
-	correct := all[:n-f]
-	faulty := all[n-f:]
-	var nodes []*dynamic.Node
-	var procs []sim.Process
-	for i, id := range correct {
-		witness := make(map[int][]string)
-		for r := 1; r <= rounds; r++ {
-			if r%len(correct) == i {
-				witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
-			}
-		}
-		leaveAt := 0
-		if withLeave && i == len(correct)-1 {
-			leaveAt = 12
-		}
-		nd := dynamic.New(dynamic.Config{ID: id, Founders: all, Witness: witness, LeaveAt: leaveAt})
-		nodes = append(nodes, nd)
-		procs = append(procs, nd)
-	}
-	run := sim.NewRunner(sim.Config{MaxRounds: rounds}, procs, faulty, adv)
-	if withJoin {
-		joiner := dynamic.New(dynamic.Config{ID: ids.Sparse(ids.NewRand(seed+999), 1)[0]})
-		run.ScheduleJoin(10, joiner)
-		nodes = append(nodes, joiner)
-	}
-	run.Run(nil)
-	lag := nodes[0].Round() - nodes[0].FinalRound()
-	return nodes, lag
-}
-
-// prefixViolations counts node pairs whose chains are not prefixes of
-// one another (restricted to the sessions both cover, so joiners
-// compare fairly).
-func prefixViolations(nodes []*dynamic.Node) int {
-	violations := 0
-	for i := range nodes {
-		for j := i + 1; j < len(nodes); j++ {
-			a, b := nodes[i].Chain(), nodes[j].Chain()
-			// align on the later starting session
-			start := 0
-			if len(a) > 0 && len(b) > 0 {
-				s := a[0].Session
-				if b[0].Session > s {
-					s = b[0].Session
-				}
-				start = s
-			}
-			var fa, fb []dynamic.Event
-			for _, e := range a {
-				if e.Session >= start {
-					fa = append(fa, e)
-				}
-			}
-			for _, e := range b {
-				if e.Session >= start {
-					fb = append(fb, e)
-				}
-			}
-			m := len(fa)
-			if len(fb) < m {
-				m = len(fb)
-			}
-			for k := 0; k < m; k++ {
-				if fa[k] != fb[k] {
-					violations++
-					break
-				}
-			}
-		}
-	}
-	return violations
-}
-
-func harvestGaps(nodes []*dynamic.Node) int {
-	gaps := 0
-	for _, nd := range nodes {
-		if nd.HarvestGap() {
-			gaps++
-		}
-	}
-	return gaps
 }

@@ -1,0 +1,119 @@
+package sim
+
+// White-box consistency of the flat node table under churn: every
+// insertNode/removeNode must leave the table sorted, the slot index
+// exactly inverse to it, and the churn gauges consistent. The external
+// tests prove the schedule is right; this one proves the data structure
+// the schedule depends on never drifts while joins and leaves
+// interleave in a single run.
+
+import (
+	"fmt"
+	"testing"
+
+	"idonly/internal/ids"
+)
+
+// hopProc broadcasts one string per round and leaves the system after
+// leaveAt rounds (0 = never).
+type hopProc struct {
+	id      ids.ID
+	leaveAt int
+	round   int
+}
+
+func (p *hopProc) ID() ids.ID    { return p.id }
+func (p *hopProc) Decided() bool { return false }
+func (p *hopProc) Output() any   { return p.round }
+func (p *hopProc) Left() bool    { return p.leaveAt != 0 && p.round >= p.leaveAt }
+func (p *hopProc) Step(round int, _ []Message) []Send {
+	p.round = round
+	return []Send{BroadcastPayload(fmt.Sprintf("m-%d-%d", p.id, round))}
+}
+
+// silentAdv keeps the faulty rows exercised without traffic.
+type silentAdv struct{}
+
+func (silentAdv) Step(ids.ID, int, []Message) []Send { return nil }
+
+func checkSlotInvariants(t *testing.T, r *Runner, when string) {
+	t.Helper()
+	if len(r.slot) != len(r.nodes) {
+		t.Fatalf("%s: slot map has %d entries for %d nodes", when, len(r.slot), len(r.nodes))
+	}
+	for i := range r.nodes {
+		if i > 0 && r.nodes[i-1].id >= r.nodes[i].id {
+			t.Fatalf("%s: node table unsorted at %d: %d >= %d", when, i, r.nodes[i-1].id, r.nodes[i].id)
+		}
+		j, ok := r.slot[r.nodes[i].id]
+		if !ok || j != i {
+			t.Fatalf("%s: slot[%d] = %d,%v, want %d", when, r.nodes[i].id, j, ok, i)
+		}
+	}
+}
+
+// TestSlotMapConsistencyUnderChurn interleaves correct joins, graceful
+// leaves, faulty joins and faulty removals across one run and checks
+// the table/slot invariants after every round.
+func TestSlotMapConsistencyUnderChurn(t *testing.T) {
+	rng := ids.NewRand(123)
+	all := ids.Sparse(rng, 16)
+	var procs []Process
+	// 8 correct founders; three leave at staggered rounds.
+	for i, id := range all[:8] {
+		leaveAt := 0
+		if i >= 5 {
+			leaveAt = 4 + 3*i // rounds 19, 22, 25... relative to i: 4+15=19 etc.
+		}
+		procs = append(procs, &hopProc{id: id, leaveAt: leaveAt})
+	}
+	faulty := all[8:11]
+	r := NewRunner(Config{MaxRounds: 40}, procs, faulty, silentAdv{})
+	checkSlotInvariants(t, r, "after construction")
+
+	// Correct joiners at rounds 3, 5, 7, 9 — two of them leave again.
+	for i, id := range all[11:15] {
+		leaveAt := 0
+		if i%2 == 0 {
+			leaveAt = 15 + i
+		}
+		r.ScheduleJoin(3+2*i, &hopProc{id: id, leaveAt: leaveAt})
+	}
+	// A faulty late joiner.
+	r.ScheduleFaultyJoin(6, all[15])
+
+	removals := map[int]ids.ID{10: faulty[0], 12: all[15], 20: faulty[1]}
+	for round := 1; round <= 40; round++ {
+		r.StepRound()
+		checkSlotInvariants(t, r, fmt.Sprintf("after round %d", round))
+		if id, ok := removals[round]; ok {
+			r.RemoveFaulty(id)
+			checkSlotInvariants(t, r, fmt.Sprintf("after removal in round %d", round))
+		}
+	}
+
+	// Final membership: 8 founders - 3 leavers + 4 joiners - 2 joiner
+	// leavers + 3 faulty + 1 late faulty - 3 removals = 8.
+	if got := len(r.Active()); got != 8 {
+		t.Fatalf("final membership %d, want 8 (active: %v)", got, r.Active())
+	}
+	m := r.Metrics()
+	if m.Joins != 5 {
+		t.Fatalf("Joins = %d, want 5 (4 correct + 1 faulty)", m.Joins)
+	}
+	if m.Leaves != 8 {
+		t.Fatalf("Leaves = %d, want 8 (5 graceful + 3 removals)", m.Leaves)
+	}
+	if m.PeakNodes <= 11 || m.MinNodes < 8 || m.MinNodes > m.PeakNodes {
+		t.Fatalf("membership extremes peak=%d min=%d inconsistent", m.PeakNodes, m.MinNodes)
+	}
+	// Removed and departed ids must not resolve; present ones must.
+	if r.Process(faulty[0]) != nil {
+		t.Fatal("removed faulty id still resolves")
+	}
+	for _, id := range r.Active() {
+		if _, ok := r.slot[id]; !ok {
+			t.Fatalf("active id %d missing from slot map", id)
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"testing"
 
+	"idonly/internal/adversary"
+	"idonly/internal/core/dynamic"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
 )
@@ -75,5 +77,81 @@ func TestGoldenTraces(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// churnHeavyDigest runs a churn-saturated dynamic-ordering system —
+// three staggered correct joiners, two graceful leavers, a late faulty
+// join and two mid-run faulty removals, under an event-equivocating
+// adversary — and digests its full schedule, outputs and metrics
+// (including the churn gauges). The removals fire through Run's stop
+// callback, which the plain digestRun helper cannot express.
+func churnHeavyDigest(workers int) string {
+	h := fnv.New64a()
+	rng := ids.NewRand(77)
+	all := ids.Sparse(rng, 12)
+	correct := all[:7]
+	faulty := all[7:9] // present from round 1
+	lateFaulty := all[9]
+	joinerIDs := all[10:]
+
+	var procs []sim.Process
+	for i, id := range correct {
+		witness := make(map[int][]string)
+		for r := 1; r <= 60; r++ {
+			if r%len(correct) == i {
+				witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
+			}
+		}
+		leaveAt := 0
+		switch i {
+		case len(correct) - 1:
+			leaveAt = 12
+		case len(correct) - 2:
+			leaveAt = 20
+		}
+		procs = append(procs, dynamic.New(dynamic.Config{ID: id, Founders: all[:9], Witness: witness, LeaveAt: leaveAt}))
+	}
+	cfg := sim.Config{
+		MaxRounds: 60,
+		Workers:   workers,
+		Observer: func(round int, from ids.ID, sends []sim.Send) {
+			fmt.Fprintf(h, "r%d %d %v\n", round, from, sends)
+		},
+	}
+	run := sim.NewRunner(cfg, procs, faulty, adversary.DynEquivEvent{All: all[:9], Every: 2})
+	for i, id := range joinerIDs {
+		joiner := dynamic.New(dynamic.Config{ID: id})
+		run.ScheduleJoin(5+5*i, joiner)
+		procs = append(procs, joiner)
+	}
+	run.ScheduleFaultyJoin(8, lateFaulty)
+	removals := map[int]ids.ID{25: faulty[0], 35: lateFaulty}
+	m := run.Run(func(round int) bool {
+		if id, ok := removals[round]; ok {
+			run.RemoveFaulty(id)
+		}
+		return false
+	})
+	for _, p := range procs {
+		fmt.Fprintf(h, "out %d %v\n", p.ID(), p.Output())
+	}
+	fmt.Fprintf(h, "rounds=%d delivered=%d dropped=%d byround=%v joins=%d leaves=%d peak=%d min=%d\n",
+		m.Rounds, m.MessagesDelivered, m.MessagesDropped, m.ByRound,
+		m.Joins, m.Leaves, m.PeakNodes, m.MinNodes)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenChurn pins the churn-heavy schedule; joins, leaves and faulty
+// removals must replay bit-identically under the sharded round path.
+const goldenChurn = "94493272edd150e2"
+
+func TestGoldenChurnSchedule(t *testing.T) {
+	seq := churnHeavyDigest(1)
+	if par := churnHeavyDigest(4); par != seq {
+		t.Fatalf("churn schedule diverged between workers=1 (%s) and workers=4 (%s)", seq, par)
+	}
+	if seq != goldenChurn {
+		t.Fatalf("churn schedule changed: digest %s, golden %s", seq, goldenChurn)
 	}
 }

@@ -114,6 +114,17 @@ type Metrics struct {
 	// it describes the allocator, not the protocol; trace digests and
 	// canonical reports exclude it.
 	InboxGrows int64
+
+	// Churn gauges. Joins counts nodes (correct or faulty) that entered
+	// the system after round 0; Leaves counts nodes removed mid-run
+	// (graceful Leaver departures and RemoveFaulty). PeakNodes and
+	// MinNodes track the membership extremes observed at round
+	// boundaries, including the initial membership. All four are
+	// deterministic: membership changes are part of the schedule.
+	Joins     int
+	Leaves    int
+	PeakNodes int
+	MinNodes  int
 }
 
 // Observer receives a copy of every round's traffic; used by the trace
@@ -266,6 +277,8 @@ func NewRunner(cfg Config, procs []Process, faulty []ids.ID, adv Adversary) *Run
 		r.presize(&r.nodes[i])
 	}
 	r.undecided = len(procs)
+	r.metrics.PeakNodes = len(r.nodes)
+	r.metrics.MinNodes = len(r.nodes)
 	return r
 }
 
@@ -535,6 +548,10 @@ func (r *Runner) insertNode(n node) {
 	r.nodes[i] = n
 	r.reslot(i)
 	r.presize(&r.nodes[i])
+	r.metrics.Joins++
+	if len(r.nodes) > r.metrics.PeakNodes {
+		r.metrics.PeakNodes = len(r.nodes)
+	}
 }
 
 // removeNode drops a node from the table, releases its pooled buffers
@@ -555,4 +572,8 @@ func (r *Runner) removeNode(id ids.ID) {
 	r.nodes[len(r.nodes)-1] = node{} // release the buffers to the GC
 	r.nodes = r.nodes[:len(r.nodes)-1]
 	r.reslot(i)
+	r.metrics.Leaves++
+	if len(r.nodes) < r.metrics.MinNodes {
+		r.metrics.MinNodes = len(r.nodes)
+	}
 }
