@@ -12,6 +12,7 @@ import (
 	"idonly/internal/engine"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
+	"idonly/internal/store"
 )
 
 // This file is the library's public surface: curated aliases and
@@ -246,4 +247,39 @@ func PresetGrid(name string) (Grid, error) { return engine.PresetGrid(name) }
 // parallel-map primitive, exported for custom sweeps.
 func ParallelMap[T any](workers, n int, fn func(i int) T) []T {
 	return engine.Map(workers, n, fn)
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed result store
+// ---------------------------------------------------------------------
+
+// Store is the content-addressed result store: an append-only,
+// crash-recovering segment log of scenario results keyed by
+// ScenarioDigest, safe for concurrent readers alongside one appender.
+// StoreStats is its counter snapshot and CacheRunStats the hit/miss
+// split of one CachedRunAll call.
+type (
+	Store         = store.Store
+	StoreStats    = store.Stats
+	CacheRunStats = store.RunStats
+)
+
+// OpenStore opens (creating if needed) the store rooted at dir,
+// truncating any torn or corrupt log tail back to the last intact
+// record.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// ScenarioDigest returns the scenario's content address: a SHA-256
+// (hex) over every field that influences the run's result bytes, taken
+// after default resolution. Because scenarios are deterministic per
+// seed, this digest addresses the scenario's Result before it runs.
+func ScenarioDigest(s Scenario) string { return s.Digest() }
+
+// CachedRunAll is RunAll behind the store: scenarios whose results are
+// already stored are served from disk (zero simulator rounds), the
+// rest are fanned through the worker pool and persisted as one batch.
+// The returned report's canonical bytes are identical to what a cold
+// RunAll of the same scenarios produces.
+func CachedRunAll(st *Store, specs []Scenario, opts EngineOptions) (*Report, CacheRunStats, error) {
+	return store.CachedRunAll(st, specs, opts)
 }

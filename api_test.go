@@ -93,7 +93,15 @@ func TestPublicAPIEngine(t *testing.T) {
 	}
 	seq := idonly.RunAll(specs, idonly.EngineOptions{Workers: 1})
 	par := idonly.RunAll(specs, idonly.EngineOptions{Workers: 4})
-	if string(seq.Canonical()) != string(par.Canonical()) {
+	seqC, err := seq.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC, err := par.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqC) != string(parC) {
 		t.Fatal("canonical reports differ across worker counts via public API")
 	}
 	if len(seq.Errors()) != 0 {
@@ -114,6 +122,63 @@ func TestPublicAPIEngine(t *testing.T) {
 	// The sharded simulator fast path is part of the public Config.
 	if (idonly.Config{Workers: 4}).Workers != 4 {
 		t.Fatal("Config.Workers not exposed")
+	}
+}
+
+// TestPublicAPIResultStore drives the caching plane exactly as an
+// external user would: open a store, sweep cold, sweep warm, address a
+// single result by its scenario digest.
+func TestPublicAPIResultStore(t *testing.T) {
+	st, err := idonly.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	grid := idonly.Grid{
+		Name:        "api-store-test",
+		Protocols:   []string{idonly.ProtoConsensus, idonly.ProtoDynamic},
+		Adversaries: []string{idonly.AdvSilent},
+		Sizes:       []int{7},
+		Seeds:       []uint64{1, 2},
+	}
+	specs := grid.Scenarios()
+	cold, coldStats, err := idonly.CachedRunAll(st, specs, idonly.EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmStats, err := idonly.CachedRunAll(st, specs, idonly.EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Misses != len(specs) || warmStats.Hits != len(specs) {
+		t.Fatalf("cold %+v warm %+v, want all misses then all hits", coldStats, warmStats)
+	}
+	coldC, err := cold.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmC, err := warm.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldC) != string(warmC) {
+		t.Fatal("warm canonical report differs from cold via public API")
+	}
+
+	d := idonly.ScenarioDigest(specs[0])
+	if len(d) != 64 {
+		t.Fatalf("ScenarioDigest returned %q", d)
+	}
+	if !st.Has(d) {
+		t.Fatal("store missing the first scenario after the sweep")
+	}
+	res, ok, err := st.Get(d)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if res.Scenario.Protocol != specs[0].Protocol {
+		t.Fatalf("stored result protocol %q", res.Scenario.Protocol)
 	}
 }
 

@@ -22,6 +22,14 @@
 //	                                      # one spec: 2 joins, 1 graceful leave,
 //	                                      # 1 late faulty join, 1 faulty removal
 //	idonly-bench -grid small -churn none  # static column only
+//	idonly-bench -grid small -store ./results
+//	                                      # sweep through the content-addressed
+//	                                      # result store: hits are served from
+//	                                      # disk, misses are run then persisted.
+//	                                      # A warm re-run performs zero
+//	                                      # simulator rounds, and idonly-serve
+//	                                      # pointed at the same directory serves
+//	                                      # the identical report over HTTP
 //	idonly-bench -bench-json                 # measure the E1–E10 workloads and
 //	                                         # emit a BENCH_*.json perf snapshot
 //	                                         # (ns/op, allocs/op, msgs/sec)
@@ -38,12 +46,12 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
 	"idonly/internal/engine"
 	"idonly/internal/experiments"
+	"idonly/internal/store"
 )
 
 func main() {
@@ -54,6 +62,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -grid: emit the full report as JSON")
 	simWorkers := flag.Int("sim-workers", 1, "with -grid: shard each round's Step calls inside every run across this many goroutines")
 	churn := flag.String("churn", "", "with -grid: replace the churn axis with one spec (e.g. j2,l1,fj1,fl1; 'none' = static only)")
+	storeDir := flag.String("store", "", "with -grid: serve cached results from (and persist fresh results to) this content-addressed store directory")
 	canonical := flag.Bool("canonical", false, "with -grid: emit the canonical (timing-free, byte-stable) report JSON")
 	benchJSON := flag.Bool("bench-json", false, "measure the experiment workloads and emit a perf snapshot as JSON")
 	benchOut := flag.String("bench-out", "", "with -bench-json: write the snapshot to this file instead of stdout")
@@ -78,7 +87,7 @@ func main() {
 		return
 	}
 	if *grid != "" {
-		if err := runGrid(*grid, *churn, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
+		if err := runGrid(*grid, *churn, *storeDir, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -88,19 +97,21 @@ func main() {
 }
 
 // runGrid expands the named grid and sweeps it across the worker pool.
-// With compare set (an explicit -workers flag) and more than one
-// worker, it first runs a sequential baseline, checks that the
-// canonical reports are byte-identical (the engine's determinism
-// contract) and prints the measured speedup; with -json the speedup
-// line goes to stderr so stdout stays machine-readable.
-func runGrid(name, churn string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
+// With -store it sweeps through the content-addressed result store
+// (hits served from disk, misses run then persisted) and reports the
+// split on stderr. With compare set (an explicit -workers flag) and
+// more than one worker, it first runs a sequential baseline, checks
+// that the canonical reports are byte-identical (the engine's
+// determinism contract) and prints the measured speedup; with -json
+// the speedup line goes to stderr so stdout stays machine-readable.
+func runGrid(name, churn, storeDir string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
 	g, err := engine.PresetGrid(name)
 	if err != nil {
 		return err
 	}
 	g.SimWorkers = simWorkers
 	if churn != "" {
-		spec, err := parseChurn(churn)
+		spec, err := engine.ParseChurn(churn)
 		if err != nil {
 			return err
 		}
@@ -112,10 +123,31 @@ func runGrid(name, churn string, workers, simWorkers int, jsonOut, canonical, co
 	if compare && workers > 1 {
 		baseline = engine.RunAll(specs, engine.Options{Workers: 1, Grid: name})
 	}
-	rep := engine.RunAll(specs, engine.Options{Workers: workers, Grid: name})
+
+	var rep *engine.Report
+	if storeDir != "" {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		var stats store.RunStats
+		rep, stats, err = store.CachedRunAll(st, specs, engine.Options{Workers: workers, Grid: name})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "store %s: hits=%d/%d misses=%d (%d results on disk)\n",
+			storeDir, stats.Hits, len(specs), stats.Misses, st.Len())
+	} else {
+		rep = engine.RunAll(specs, engine.Options{Workers: workers, Grid: name})
+	}
 
 	if canonical {
-		if _, err := os.Stdout.Write(rep.Canonical()); err != nil {
+		b, err := rep.CanonicalBytes()
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
 			return err
 		}
 	} else if jsonOut {
@@ -126,7 +158,15 @@ func runGrid(name, churn string, workers, simWorkers int, jsonOut, canonical, co
 		rep.WriteText(os.Stdout)
 	}
 	if baseline != nil {
-		if string(baseline.Canonical()) != string(rep.Canonical()) {
+		baseBytes, err := baseline.CanonicalBytes()
+		if err != nil {
+			return err
+		}
+		repBytes, err := rep.CanonicalBytes()
+		if err != nil {
+			return err
+		}
+		if string(baseBytes) != string(repBytes) {
 			return fmt.Errorf("determinism violated: canonical reports differ between workers=1 and workers=%d", workers)
 		}
 		out := os.Stdout
@@ -143,42 +183,6 @@ func runGrid(name, churn string, workers, simWorkers int, jsonOut, canonical, co
 		return fmt.Errorf("%d scenarios failed; first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
 	}
 	return nil
-}
-
-// parseChurn parses a churn spec in the same compact form
-// engine.Churn.Label renders: comma-separated jN / lN / fjN / flN
-// terms (e.g. "j2,l1,fj1,fl1"). The literal "none" is the zero spec
-// (a static-only axis).
-func parseChurn(spec string) (engine.Churn, error) {
-	var c engine.Churn
-	if spec == "none" {
-		return c, nil
-	}
-	for _, term := range strings.Split(spec, ",") {
-		term = strings.TrimSpace(term)
-		var dst *int
-		var num string
-		switch {
-		case strings.HasPrefix(term, "fj"):
-			dst, num = &c.FaultyJoins, term[2:]
-		case strings.HasPrefix(term, "fl"):
-			dst, num = &c.FaultyLeaves, term[2:]
-		case strings.HasPrefix(term, "j"):
-			dst, num = &c.Joins, term[1:]
-		case strings.HasPrefix(term, "l"):
-			dst, num = &c.Leaves, term[1:]
-		case strings.HasPrefix(term, "w"):
-			dst, num = &c.Window, term[1:]
-		default:
-			return c, fmt.Errorf("churn spec: unknown term %q (want jN, lN, fjN, flN or wN)", term)
-		}
-		n, err := strconv.Atoi(num)
-		if err != nil || n < 0 {
-			return c, fmt.Errorf("churn spec: bad count in %q", term)
-		}
-		*dst = n
-	}
-	return c, nil
 }
 
 // runBenchJSON measures the benchmark workloads (optionally a -run

@@ -1,0 +1,101 @@
+// Command idonly-serve exposes the scenario engine and the
+// content-addressed result store over HTTP: sweeps POSTed to it are
+// served from the store where possible and computed (then persisted)
+// where not, so every grid is simulated at most once across all
+// clients, processes and restarts.
+//
+// Usage:
+//
+//	idonly-serve -store ./results                 # listen on :8080
+//	idonly-serve -addr :9000 -store ./results -workers 8 -max-inflight 4
+//
+//	curl -X POST localhost:8080/v1/sweep -d '{"preset":"small"}'
+//	curl -X POST 'localhost:8080/v1/sweep?format=canonical' -d '{"preset":"small"}'
+//	curl localhost:8080/v1/result/<scenario-digest>
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight sweeps finish
+// (up to -drain), new connections are refused, and the store is closed
+// only after the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"idonly/internal/service"
+	"idonly/internal/store"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		storeDir    = flag.String("store", "results-store", "result store directory (created if missing)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width per sweep")
+		maxInFlight = flag.Int("max-inflight", 2, "concurrent sweeps; excess requests get 429")
+		maxGrid     = flag.Int("max-scenarios", 20000, "largest grid one request may expand to")
+		maxN        = flag.Int("max-n", 256, "largest per-scenario system size a request may name")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *storeDir, *workers, *maxInFlight, *maxGrid, *maxN, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain time.Duration) error {
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if tr := st.Stats().Truncated; tr > 0 {
+		fmt.Fprintf(os.Stderr, "idonly-serve: recovered store %s (truncated %d corrupt tail bytes)\n", storeDir, tr)
+	}
+
+	svc := service.New(service.Config{
+		Store:        st,
+		Workers:      workers,
+		MaxInFlight:  maxInFlight,
+		MaxScenarios: maxGrid,
+		MaxN:         maxN,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "idonly-serve: listening on %s (store %s, %d results)\n", addr, storeDir, st.Len())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "idonly-serve: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return st.Close()
+}

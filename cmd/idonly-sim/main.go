@@ -1,6 +1,7 @@
 // Command idonly-sim runs a single protocol instance of the id-only
 // library with configurable size, fault count, adversary and seed, and
-// prints per-node outcomes plus run metrics.
+// prints per-node outcomes plus run metrics. It covers all six paper
+// algorithms, like the scenario engine does.
 //
 // Usage:
 //
@@ -9,6 +10,15 @@
 //	idonly-sim -protocol rotor -n 13 -f 4 -adversary hidden
 //	idonly-sim -protocol approx -n 10 -f 3 -iters 8
 //	idonly-sim -protocol parallel -n 7 -f 2 -pairs 4
+//	idonly-sim -protocol dynamic -n 10 -f 3 -sessions 3 -rounds 50
+//	idonly-sim -protocol dynamic -n 10 -f 2 -churn j1,l1,fj1,fl1
+//	idonly-sim -protocol consensus -n 10 -f 3 -churn fj1,fl1
+//
+// -churn takes the same compact spec the engine's grids use (jN
+// correct joins, lN graceful leaves — dynamic protocol only — fjN late
+// faulty joins, flN mid-run faulty removals, any protocol) and routes
+// the run through the scenario engine so the join/leave rounds resolve
+// from the seed exactly as a grid cell's would.
 package main
 
 import (
@@ -16,28 +26,53 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"idonly/internal/adversary"
 	"idonly/internal/core/approx"
 	"idonly/internal/core/consensus"
+	"idonly/internal/core/dynamic"
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
 	"idonly/internal/core/rotor"
+	"idonly/internal/engine"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
 )
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "consensus", "rbroadcast | rotor | consensus | approx | parallel")
+		protocol = flag.String("protocol", "consensus", "rbroadcast | rotor | consensus | approx | parallel | dynamic")
 		n        = flag.Int("n", 10, "total nodes (not known to the nodes themselves)")
 		f        = flag.Int("f", 3, "Byzantine nodes (not known to the nodes themselves)")
-		adv      = flag.String("adversary", "silent", "silent | split | stubborn | hidden | replay")
+		adv      = flag.String("adversary", "silent", "silent | split | stubborn | hidden | replay (engine names with -churn)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		iters    = flag.Int("iters", 8, "iterations (approx)")
 		pairs    = flag.Int("pairs", 3, "input pairs (parallel)")
+		sessions = flag.Int("sessions", 3, "witnessed events per correct node (dynamic)")
+		rounds   = flag.Int("rounds", 0, "max protocol rounds; 0 = protocol default (dynamic: 5n/2+25)")
+		churn    = flag.String("churn", "", "churn spec (e.g. j1,l1,fj1,fl1); runs through the scenario engine")
 	)
 	flag.Parse()
+
+	if *churn != "" {
+		// The engine scenario path uses its own per-protocol workload;
+		// flags it cannot express are ignored, loudly.
+		var ignored []string
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "sessions" || fl.Name == "iters" {
+				ignored = append(ignored, "-"+fl.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s ignored with -churn (the scenario engine defines its own workload)\n",
+				strings.Join(ignored, ", "))
+		}
+		if err := runScenario(*protocol, *adv, *churn, *n, *f, *rounds, *pairs, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *n <= 3**f {
 		fmt.Fprintf(os.Stderr, "warning: n=%d ≤ 3f=%d — outside the algorithms' resiliency; expect violations\n", *n, 3**f)
@@ -161,9 +196,92 @@ func main() {
 			fmt.Printf("node %12d output %v\n", nd.ID(), nd.Outputs())
 		}
 
+	case "dynamic":
+		maxRounds := *rounds
+		if maxRounds <= 0 {
+			maxRounds = 5**n/2 + 25
+		}
+		var nodes []*dynamic.Node
+		var procs []sim.Process
+		founders := all // faulty founders are members of the initial S too
+		for i, id := range correct {
+			// Each node witnesses -sessions events, rotating through the
+			// founders one event per round so every session has work.
+			witness := make(map[int][]string)
+			injected := 0
+			for r := 1; r <= maxRounds && injected < *sessions; r++ {
+				if r%len(correct) == i {
+					witness[r] = []string{fmt.Sprintf("ev-%d-%d", i, r)}
+					injected++
+				}
+			}
+			nd := dynamic.New(dynamic.Config{ID: id, Founders: founders, Witness: witness})
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		if *f > 0 && *adv == "split" {
+			a = adversary.DynEquivEvent{All: all, Every: 2}
+		}
+		r := sim.NewRunner(sim.Config{MaxRounds: maxRounds}, procs, faulty, a)
+		m := r.Run(nil)
+		report(m)
+		if v := dynamic.PrefixViolations(nodes); v > 0 {
+			log.Fatalf("chain-prefix violated across %d node pairs", v)
+		}
+		for _, nd := range nodes {
+			fmt.Printf("node %12d chain=%d final-round=%d members=%d lag=%d\n",
+				nd.ID(), len(nd.Chain()), nd.FinalRound(), len(nd.Members()), nd.Round()-nd.FinalRound())
+		}
+
 	default:
 		log.Fatalf("unknown protocol %q", *protocol)
 	}
+}
+
+// runScenario executes one churned run through the scenario engine, so
+// the churn plan resolves from the seed exactly as a grid cell's would.
+// The adversary name must be an engine one (none, silent, split, chaos,
+// replay); f = 0 forces "none".
+func runScenario(protocol, adv, churn string, n, f, rounds, pairs int, seed uint64) error {
+	spec, err := engine.ParseChurn(churn)
+	if err != nil {
+		return err
+	}
+	if f == 0 {
+		adv = engine.AdvNone
+	}
+	s := engine.Scenario{
+		Protocol:  protocol,
+		Adversary: adv,
+		N:         n,
+		F:         f,
+		Seed:      seed,
+		MaxRounds: rounds,
+		Pairs:     pairs,
+	}
+	if !spec.IsZero() {
+		s.Churn = &spec
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	res := s.Run()
+	if res.Err != "" {
+		return fmt.Errorf("%s: %s", res.Scenario.Name, res.Err)
+	}
+	fmt.Printf("scenario %s\n", res.Scenario.Name)
+	fmt.Printf("digest   %s\n", res.Scenario.Digest())
+	fmt.Printf("rounds=%d messages=%d duplicates-dropped=%d\n",
+		res.Rounds, res.MessagesDelivered, res.MessagesDropped)
+	fmt.Printf("joins=%d leaves=%d members peak=%d min=%d\n",
+		res.Joins, res.Leaves, res.PeakMembers, res.MinMembers)
+	if res.DecidedNA {
+		fmt.Printf("decided=n/a finality-lag=%d\n", res.FinalityLag)
+	} else {
+		fmt.Printf("decided=%d/%d\n", res.DecidedNodes, res.DecidedOf)
+	}
+	fmt.Printf("outcome  %s\n", res.Output)
+	return nil
 }
 
 func report(m sim.Metrics) {

@@ -11,8 +11,10 @@
 // the synchronous and asynchronous simulators in internal/sim and
 // internal/async, the classical known-n,f baselines in
 // internal/baseline, Byzantine strategies in internal/adversary, the
-// parallel scenario engine in internal/engine, and the experiment
-// harness in internal/experiments. See README.md for a guided tour,
+// parallel scenario engine in internal/engine, the content-addressed
+// result store in internal/store, the sweep-serving HTTP layer in
+// internal/service, and the experiment harness in
+// internal/experiments. See README.md for a guided tour,
 // DESIGN.md for the system inventory, and EXPERIMENTS.md for the
 // paper-claim vs measured record. The benchmarks in this package
 // (bench_test.go) exercise one representative workload per experiment
@@ -29,4 +31,15 @@
 // increasing-id order, and reports merge results in scenario order and
 // aggregates in sorted key order — so Report.Canonical() is
 // byte-identical for every worker count.
+//
+// # Result store and sweep service
+//
+// Determinism makes results cacheable: ScenarioDigest addresses a
+// scenario's result before it runs, OpenStore/Store persist results in
+// an append-only crash-recovering segment log keyed by that digest,
+// and CachedRunAll partitions a sweep into store hits and computed
+// misses — a warm re-run performs zero simulator rounds and reproduces
+// the cold run's canonical report byte for byte. cmd/idonly-serve
+// exposes the same caching plane over HTTP (POST /v1/sweep, GET
+// /v1/result/{digest}).
 package idonly

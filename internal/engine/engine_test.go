@@ -8,6 +8,18 @@ import (
 	"testing"
 )
 
+// mustCanonical is the test-side shim over the error-returning
+// CanonicalBytes (the panic-wrapping Canonical stays for callers that
+// want it; tests prefer a t.Fatal).
+func mustCanonical(t *testing.T, r *Report) []byte {
+	t.Helper()
+	b, err := r.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestMapPreservesOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		got := Map(workers, 100, func(i int) int { return i * i })
@@ -100,7 +112,7 @@ func TestGridDeterminismAcrossWorkerCounts(t *testing.T) {
 
 	seq := RunAll(specs, Options{Workers: 1, Grid: "small"})
 	par := RunAll(specs, Options{Workers: runtime.NumCPU(), Grid: "small"})
-	if !bytes.Equal(seq.Canonical(), par.Canonical()) {
+	if !bytes.Equal(mustCanonical(t, seq), mustCanonical(t, par)) {
 		t.Fatalf("canonical reports differ between workers=1 and workers=%d", runtime.NumCPU())
 	}
 
@@ -109,7 +121,7 @@ func TestGridDeterminismAcrossWorkerCounts(t *testing.T) {
 	sharded := grid
 	sharded.SimWorkers = 4
 	shr := RunAll(sharded.Scenarios(), Options{Workers: runtime.NumCPU(), Grid: "small"})
-	if !bytes.Equal(seq.Canonical(), shr.Canonical()) {
+	if !bytes.Equal(mustCanonical(t, seq), mustCanonical(t, shr)) {
 		t.Fatal("canonical report differs when sim.Config.Workers = 4")
 	}
 
@@ -163,13 +175,13 @@ func TestChurnScenarioDeterminism(t *testing.T) {
 	}
 	seq := RunAll(grid.Scenarios(), Options{Workers: 1, Grid: grid.Name})
 	par := RunAll(grid.Scenarios(), Options{Workers: 4, Grid: grid.Name})
-	if !bytes.Equal(seq.Canonical(), par.Canonical()) {
+	if !bytes.Equal(mustCanonical(t, seq), mustCanonical(t, par)) {
 		t.Fatal("churn grid canonical reports differ between workers=1 and workers=4")
 	}
 	sharded := grid
 	sharded.SimWorkers = 4
 	shr := RunAll(sharded.Scenarios(), Options{Workers: 4, Grid: grid.Name})
-	if !bytes.Equal(seq.Canonical(), shr.Canonical()) {
+	if !bytes.Equal(mustCanonical(t, seq), mustCanonical(t, shr)) {
 		t.Fatal("churn grid canonical report differs when sim.Config.Workers = 4")
 	}
 	if errs := seq.Errors(); len(errs) != 0 {

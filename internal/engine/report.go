@@ -34,13 +34,14 @@ func (r *Report) Errors() []Result {
 	return out
 }
 
-// Canonical returns the deterministic JSON form of the report: the full
-// report with every timing field (Workers, ElapsedNS, WallNS) and the
-// allocation gauge (InboxGrows) zeroed. Two sweeps of the same
-// scenarios produce byte-identical Canonical output regardless of
+// CanonicalBytes returns the deterministic JSON form of the report:
+// the full report with every timing field (Workers, ElapsedNS, WallNS)
+// and the allocation gauge (InboxGrows) zeroed. Two sweeps of the same
+// scenarios produce byte-identical canonical output regardless of
 // worker count — and regardless of delivery-path buffer tuning — this
-// is the determinism contract the engine tests enforce.
-func (r *Report) Canonical() []byte {
+// is the determinism contract the engine tests enforce, and the bytes
+// the result store's content digests are computed over.
+func (r *Report) CanonicalBytes() ([]byte, error) {
 	c := *r
 	c.Workers = 0
 	c.ElapsedNS = 0
@@ -52,9 +53,20 @@ func (r *Report) Canonical() []byte {
 	}
 	b, err := json.MarshalIndent(&c, "", "  ")
 	if err != nil {
-		panic(fmt.Sprintf("engine: canonical marshal failed: %v", err)) // all fields are marshalable
+		return nil, fmt.Errorf("engine: canonical marshal failed: %w", err)
 	}
-	return append(b, '\n')
+	return append(b, '\n'), nil
+}
+
+// Canonical is the panic-on-error convenience form of CanonicalBytes,
+// for contexts (tests, examples) where a marshal failure — impossible
+// for a Report produced by this package — should simply crash.
+func (r *Report) Canonical() []byte {
+	b, err := r.CanonicalBytes()
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // WriteJSON emits the full report, timings included, as indented JSON.

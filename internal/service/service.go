@@ -1,0 +1,350 @@
+// Package service is the sweep-serving HTTP layer: a net/http handler
+// (no dependencies outside the standard library) that runs scenario
+// grids through the content-addressed result store and serves
+// individual results by digest.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/sweep          run a grid; body is a SweepRequest, response
+//	                        is an NDJSON stream (one engine.Result per
+//	                        line, then one SweepTrailer line) — or, with
+//	                        ?format=canonical, the byte-stable canonical
+//	                        report, or ?format=report the full timed one
+//	GET  /v1/result/{digest} one stored result by scenario digest
+//	GET  /v1/healthz        liveness + store record count
+//	GET  /v1/stats          hit/miss/latency counters + store stats
+//
+// Sweeps are bounded two ways: at most Config.MaxInFlight run
+// concurrently (excess requests get 429 + Retry-After rather than
+// queueing without bound) and a single request may expand to at most
+// Config.MaxScenarios scenarios (413 beyond that). Graceful shutdown is
+// the caller's job via http.Server.Shutdown; the handler holds no state
+// that outlives a request.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"idonly/internal/engine"
+	"idonly/internal/store"
+)
+
+// Config configures the service.
+type Config struct {
+	Store        *store.Store
+	Workers      int // worker-pool width per sweep; <= 0 means GOMAXPROCS
+	MaxInFlight  int // concurrent sweeps; <= 0 means 2
+	MaxScenarios int // per-request expansion cap; <= 0 means 20000
+
+	// MaxN and MaxRounds bound a single scenario's compute (<= 0 means
+	// 256 nodes / 100000 rounds). The scenario-count cap alone is not
+	// enough: one scenario with a six-figure N would hold an in-flight
+	// slot for hours, and sweeps are not cancellable mid-run.
+	MaxN      int
+	MaxRounds int
+}
+
+// SweepRequest is the POST /v1/sweep body: either a named preset or a
+// full grid spec, with an optional churn-axis override in the same
+// compact syntax idonly-bench accepts (engine.ParseChurn).
+type SweepRequest struct {
+	Preset string       `json:"preset,omitempty"`
+	Grid   *engine.Grid `json:"grid,omitempty"`
+	Churn  string       `json:"churn,omitempty"`
+}
+
+// SweepTrailer is the final NDJSON line of a sweep response: the
+// aggregates plus how the sweep split between cache and compute.
+type SweepTrailer struct {
+	Grid         string         `json:"grid,omitempty"`
+	Scenarios    int            `json:"scenarios"`
+	Groups       []engine.Group `json:"groups"`
+	Cache        store.RunStats `json:"cache"`
+	ReportDigest string         `json:"report_digest"` // Report.ContentDigest of the canonical form
+	ElapsedNS    int64          `json:"elapsed_ns"`
+}
+
+// Counters is the GET /v1/stats payload.
+type Counters struct {
+	Sweeps          int64       `json:"sweeps"`           // sweeps completed
+	SweepsInFlight  int64       `json:"sweeps_in_flight"` // currently running
+	SweepsRejected  int64       `json:"sweeps_rejected"`  // 429s from the in-flight bound
+	ScenariosServed int64       `json:"scenarios_served"` // total scenarios across sweeps
+	CacheHits       int64       `json:"cache_hits"`       // scenarios served from the store
+	CacheMisses     int64       `json:"cache_misses"`     // scenarios computed
+	ResultLookups   int64       `json:"result_lookups"`   // GET /v1/result calls
+	SweepNSTotal    int64       `json:"sweep_ns_total"`   // cumulative sweep wall time
+	LastSweepNS     int64       `json:"last_sweep_ns"`    // latency of the most recent sweep
+	Store           store.Stats `json:"store"`
+}
+
+// Service is the handler. Safe for concurrent use.
+type Service struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	sweeps, rejected, scenarios atomic.Int64
+	hits, misses, lookups       atomic.Int64
+	sweepNSTotal, lastSweepNS   atomic.Int64
+}
+
+// New builds the service over an open store.
+func New(cfg Config) *Service {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2
+	}
+	if cfg.MaxScenarios <= 0 {
+		cfg.MaxScenarios = 20000
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 256
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 100000
+	}
+	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/result/{digest}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError writes a one-line JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveGrid turns a SweepRequest into a scenario list.
+func (s *Service) resolveGrid(req *SweepRequest) ([]engine.Scenario, string, error) {
+	var g engine.Grid
+	switch {
+	case req.Preset != "" && req.Grid != nil:
+		return nil, "", fmt.Errorf("request sets both preset and grid")
+	case req.Preset != "":
+		var err error
+		if g, err = engine.PresetGrid(req.Preset); err != nil {
+			return nil, "", err
+		}
+	case req.Grid != nil:
+		g = *req.Grid
+	default:
+		return nil, "", fmt.Errorf("request needs a preset name or a grid spec")
+	}
+	if req.Churn != "" {
+		spec, err := engine.ParseChurn(req.Churn)
+		if err != nil {
+			return nil, "", err
+		}
+		g.Churns = []engine.Churn{spec}
+	}
+	// Bound the cross product arithmetically before materializing it: a
+	// few-KB request body can name a grid whose expansion would not fit
+	// in memory. Checked factor by factor so the partial product can
+	// never overflow before the comparison.
+	churns := len(g.Churns)
+	if churns == 0 {
+		churns = 1
+	}
+	product := int64(1)
+	for _, k := range []int{len(g.Protocols), len(g.Adversaries), len(g.Sizes), churns, len(g.Seeds)} {
+		if product *= int64(k); product > int64(s.cfg.MaxScenarios) {
+			return nil, "", errTooLarge{n: product, max: s.cfg.MaxScenarios}
+		}
+	}
+	for _, n := range g.Sizes {
+		if n > s.cfg.MaxN {
+			return nil, "", fmt.Errorf("size %d exceeds the per-scenario limit of %d nodes", n, s.cfg.MaxN)
+		}
+	}
+	if g.MaxRounds > s.cfg.MaxRounds {
+		return nil, "", fmt.Errorf("max_rounds %d exceeds the limit of %d", g.MaxRounds, s.cfg.MaxRounds)
+	}
+	specs := g.Scenarios()
+	if len(specs) == 0 {
+		return nil, "", fmt.Errorf("grid expands to zero scenarios")
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, "", err
+		}
+	}
+	return specs, g.Name, nil
+}
+
+type errTooLarge struct {
+	n   int64
+	max int
+}
+
+func (e errTooLarge) Error() string {
+	return fmt.Sprintf("grid expands to at least %d scenarios (limit %d)", e.n, e.max)
+}
+
+// maxSweepBody bounds the request body; the largest legitimate grid
+// spec is a few KB of names and numbers.
+const maxSweepBody = 1 << 20
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Reject everything rejectable — body, grid, format — before
+	// taking an in-flight slot, so a slow or malformed request can
+	// never pin a semaphore slot while legitimate sweeps get 429s.
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "ndjson", "canonical", "report":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want ndjson, canonical or report)", format)
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding sweep request: %v", err)
+		return
+	}
+	specs, gridName, err := s.resolveGrid(&req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, ok := err.(errTooLarge); ok {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%d sweeps already in flight", s.cfg.MaxInFlight)
+		return
+	}
+
+	start := time.Now()
+	rep, stats, err := store.CachedRunAll(s.cfg.Store, specs, engine.Options{
+		Workers: s.cfg.Workers, Grid: gridName,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+		return
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	s.sweeps.Add(1)
+	s.scenarios.Add(int64(len(specs)))
+	s.hits.Add(int64(stats.Hits))
+	s.misses.Add(int64(stats.Misses))
+	s.sweepNSTotal.Add(elapsed)
+	s.lastSweepNS.Store(elapsed)
+
+	switch format {
+	case "", "ndjson":
+		s.writeNDJSON(w, rep, stats, elapsed)
+	case "canonical":
+		b, err := rep.CanonicalBytes()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "report":
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	}
+}
+
+// writeNDJSON streams the per-scenario results one JSON object per
+// line, in deterministic input order, then the trailer with aggregates
+// and cache stats. Lines are flushed as written so a slow client sees
+// results as they serialize.
+func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats store.RunStats, elapsed int64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range rep.Results {
+		if err := enc.Encode(&rep.Results[i]); err != nil {
+			return // client went away; nothing sensible to do mid-stream
+		}
+		if flusher != nil && i%64 == 63 {
+			flusher.Flush()
+		}
+	}
+	digest, err := rep.ContentDigest()
+	if err != nil {
+		return
+	}
+	enc.Encode(&SweepTrailer{
+		Grid:         rep.Grid,
+		Scenarios:    rep.Scenarios,
+		Groups:       rep.Groups,
+		Cache:        stats,
+		ReportDigest: digest,
+		ElapsedNS:    elapsed,
+	})
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.lookups.Add(1)
+	digest := strings.ToLower(r.PathValue("digest"))
+	if len(digest) != 64 || strings.Trim(digest, "0123456789abcdef") != "" {
+		httpError(w, http.StatusBadRequest, "digest must be 64 hex characters")
+		return
+	}
+	res, ok, err := s.cfg.Store.Get(digest)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for %s", digest[:12])
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&res)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":      true,
+		"results": s.cfg.Store.Len(),
+	})
+}
+
+// Snapshot returns the current counters (also served at /v1/stats).
+func (s *Service) Snapshot() Counters {
+	return Counters{
+		Sweeps:          s.sweeps.Load(),
+		SweepsInFlight:  int64(len(s.sem)),
+		SweepsRejected:  s.rejected.Load(),
+		ScenariosServed: s.scenarios.Load(),
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+		ResultLookups:   s.lookups.Load(),
+		SweepNSTotal:    s.sweepNSTotal.Load(),
+		LastSweepNS:     s.lastSweepNS.Load(),
+		Store:           s.cfg.Store.Stats(),
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := s.Snapshot()
+	enc.Encode(&snap)
+}

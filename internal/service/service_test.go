@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"idonly/internal/engine"
+	"idonly/internal/store"
+)
+
+// testGrid is small enough to sweep in milliseconds but still crosses
+// two protocols and two adversaries.
+const testGridBody = `{"grid": {
+	"name": "svc-test",
+	"protocols": ["consensus", "rbroadcast"],
+	"adversaries": ["silent", "split"],
+	"sizes": [7],
+	"seeds": [1, 2]
+}}`
+
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg.Store = st
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, query, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sweep"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestSweepNDJSONStream(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 2})
+	resp, body := postSweep(t, ts, "", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	var results []engine.Result
+	var trailer *SweepTrailer
+	for sc.Scan() {
+		line := sc.Bytes()
+		if trailer != nil {
+			t.Fatalf("line after trailer: %s", line)
+		}
+		var res engine.Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, line)
+		}
+		if res.Scenario.Protocol != "" {
+			results = append(results, res)
+			continue
+		}
+		trailer = new(SweepTrailer)
+		if err := json.Unmarshal(line, trailer); err != nil {
+			t.Fatalf("bad trailer: %v\n%s", err, line)
+		}
+	}
+	if len(results) != 8 {
+		t.Fatalf("streamed %d results, want 8", len(results))
+	}
+	if trailer == nil {
+		t.Fatal("no trailer line")
+	}
+	if trailer.Scenarios != 8 || trailer.Cache.Misses != 8 || trailer.Cache.Hits != 0 {
+		t.Fatalf("cold trailer %+v", trailer)
+	}
+	if trailer.ReportDigest == "" || len(trailer.Groups) == 0 {
+		t.Fatalf("trailer missing digest/groups: %+v", trailer)
+	}
+
+	// Warm repeat: all hits, same report digest.
+	_, body2 := postSweep(t, ts, "", testGridBody)
+	lines := bytes.Split(bytes.TrimSpace(body2), []byte("\n"))
+	var warm SweepTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != 8 || warm.Cache.Misses != 0 {
+		t.Fatalf("warm trailer cache %+v, want 8 hits", warm.Cache)
+	}
+	if warm.ReportDigest != trailer.ReportDigest {
+		t.Fatal("warm report digest differs from cold")
+	}
+	if snap := svc.Snapshot(); snap.Sweeps != 2 || snap.CacheHits != 8 || snap.CacheMisses != 8 {
+		t.Fatalf("counters %+v", snap)
+	}
+}
+
+// TestSweepCanonicalMatchesEngine is the HTTP half of the acceptance
+// criterion: the served canonical report is byte-identical to the one
+// the engine computes directly.
+func TestSweepCanonicalMatchesEngine(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	resp, body := postSweep(t, ts, "?format=canonical", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(testGridBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.RunAll(req.Grid.Scenarios(), engine.Options{Grid: "svc-test"}).CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("served canonical report differs from a direct engine run")
+	}
+	// And again from the warm cache.
+	_, warm := postSweep(t, ts, "?format=canonical", testGridBody)
+	if !bytes.Equal(warm, want) {
+		t.Fatal("warm served canonical report differs")
+	}
+}
+
+func TestResultByDigest(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody)
+
+	var req SweepRequest
+	json.Unmarshal([]byte(testGridBody), &req)
+	spec := req.Grid.Scenarios()[0]
+	resp, err := http.Get(ts.URL + "/v1/result/" + spec.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var res engine.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario.Protocol != spec.Protocol || res.Scenario.Seed != spec.Seed {
+		t.Fatalf("served result for %+v, want %s/seed=%d", res.Scenario, spec.Protocol, spec.Seed)
+	}
+
+	for path, wantCode := range map[string]int{
+		"/v1/result/" + strings.Repeat("0", 64): http.StatusNotFound,
+		"/v1/result/nothex":                     http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, wantCode)
+		}
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK      bool `json:"ok"`
+		Results int  `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Results != 0 {
+		t.Fatalf("health %+v", health)
+	}
+
+	postSweep(t, ts, "", testGridBody)
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Counters
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Sweeps != 1 || stats.ScenariosServed != 8 || stats.CacheMisses != 8 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Store.Records != 8 || stats.SweepNSTotal <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestSweepRejectsBadRequests(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1, MaxScenarios: 10})
+	for body, wantCode := range map[string]int{
+		`{`:                 http.StatusBadRequest,
+		`{}`:                http.StatusBadRequest,
+		`{"preset":"nope"}`: http.StatusBadRequest,
+		`{"preset":"small","grid":{"protocols":["consensus"]}}`: http.StatusBadRequest,
+		`{"preset":"small","churn":"zz9"}`:                      http.StatusBadRequest,
+		`{"preset":"small"}`:                                    http.StatusRequestEntityTooLarge, // 288 > MaxScenarios=10
+	} {
+		resp, b := postSweep(t, ts, "", body)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("body %s: status %d (%s), want %d", body, resp.StatusCode, b, wantCode)
+		}
+	}
+	// Per-scenario compute bounds: a legal-looking grid naming a huge
+	// system or horizon is rejected before any simulation happens.
+	resp, b := postSweep(t, ts, "", `{"grid":{"protocols":["consensus"],"adversaries":["silent"],"sizes":[200000],"seeds":[1]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized n: status %d (%s)", resp.StatusCode, b)
+	}
+	resp, b = postSweep(t, ts, "", `{"grid":{"protocols":["consensus"],"adversaries":["silent"],"sizes":[7],"seeds":[1],"max_rounds":100000000}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized max_rounds: status %d (%s)", resp.StatusCode, b)
+	}
+
+	// An invalid scenario inside the grid is a 400, not a sweep error.
+	resp, _ = postSweep(t, ts, "", `{"grid":{"protocols":["nope"],"adversaries":["silent"],"sizes":[7],"seeds":[1]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid protocol: status %d", resp.StatusCode)
+	}
+	resp, _ = postSweep(t, ts, "?format=martian", `{"grid":{"protocols":["consensus"],"adversaries":["silent"],"sizes":[7],"seeds":[1]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d", resp.StatusCode)
+	}
+}
+
+// TestSweepInFlightBound: with the semaphore held, a sweep gets 429 +
+// Retry-After instead of queueing.
+func TestSweepInFlightBound(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 1, MaxInFlight: 1})
+	svc.sem <- struct{}{} // occupy the only slot
+	resp, body := postSweep(t, ts, "", testGridBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-svc.sem
+	if snap := svc.Snapshot(); snap.SweepsRejected != 1 {
+		t.Fatalf("rejected counter %d", snap.SweepsRejected)
+	}
+	resp, _ = postSweep(t, ts, "", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("freed slot still rejecting: %d", resp.StatusCode)
+	}
+}
+
+// TestChurnOverride mirrors idonly-bench's -churn flag over HTTP.
+func TestChurnOverride(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	body := `{"grid": {
+		"name": "churned",
+		"protocols": ["dynamic"],
+		"adversaries": ["silent"],
+		"sizes": [10],
+		"seeds": [1]
+	}, "churn": "fj1,fl1"}`
+	resp, out := postSweep(t, ts, "?format=report", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var rep engine.Report
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if c := rep.Results[0].Scenario.Churn; c == nil || c.FaultyJoins != 1 || c.FaultyLeaves != 1 {
+		t.Fatalf("churn override not applied: %+v", rep.Results[0].Scenario.Churn)
+	}
+}

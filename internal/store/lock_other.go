@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock(2) is unavailable; keeping a store
+// directory to one process at a time is then the operator's job.
+func lockFile(f *os.File) error { return nil }
+
+// syncDir is a no-op where directory fsync is unsupported.
+func syncDir(dir string) error { return nil }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the log file. Two
+// appenders each track their own end-of-log offset, so a second
+// process writing the same store would interleave batches at stale
+// offsets and corrupt the log; the lock turns that into a clean open
+// error instead. It is released automatically when the descriptor
+// closes — including on crash.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("store: %s is in use by another process (%v)", f.Name(), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory so a freshly created results.log's
+// directory entry is durable — without this, fsync-on-batch protects
+// the bytes but a power loss could drop the whole just-created file.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package store
+
+import "testing"
+
+// TestOpenExclusiveLock: a live store may have only one appender; a
+// second Open — flock(2) locks per open-file-description, so a second
+// handle in the same process behaves like another process — fails
+// cleanly instead of corrupting the log, and succeeds again after
+// Close.
+func TestOpenExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		st.Close()
+		t.Fatal("second Open of a live store succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	st2.Close()
+}

@@ -1,0 +1,354 @@
+// Package store is the content-addressed result store: an append-only
+// single-file segment log of engine.Result records keyed by
+// engine.Scenario.Digest, with an in-memory index rebuilt on open.
+//
+// Because every scenario is deterministic per seed, a result is a pure
+// function of its scenario digest; storing it once makes every repeat
+// sweep — in this process, another process, or a later CI run — a cache
+// hit, and content addressing makes deduplication free (a Put of an
+// already-present digest is a no-op).
+//
+// On-disk format (results.log):
+//
+//	magic   "IDONLYS1"                      (8 bytes, once)
+//	record  length   uint32 big-endian      payload byte count
+//	        key      32 raw bytes           scenario digest (SHA-256)
+//	        payload  JSON engine.Result
+//	        crc      uint32 big-endian      CRC-32C over key ∥ payload
+//
+// Records are only ever appended; a batch is flushed with one fsync
+// (fsync-on-batch). Open scans the log and truncates a torn or corrupt
+// tail back to the last record whose CRC verifies, so a crash mid-batch
+// loses at most that unflushed batch, never the records before it.
+// Reads go through ReadAt and take no lock against each other, so any
+// number of readers proceed concurrently with one appender.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"idonly/internal/engine"
+)
+
+const (
+	logName   = "results.log"
+	magic     = "IDONLYS1"
+	keySize   = 32
+	headerLen = 4 + keySize // length prefix + key
+	// maxPayload bounds a single record so a corrupt length prefix can
+	// never drive the open scan into a multi-gigabyte allocation.
+	maxPayload = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordLoc locates one record's payload inside the log.
+type recordLoc struct {
+	off int64 // payload start
+	n   int   // payload length
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Records   int   `json:"records"`   // distinct digests indexed
+	LogBytes  int64 `json:"log_bytes"` // current log size
+	Gets      int64 `json:"gets"`      // Get calls since open
+	Hits      int64 `json:"hits"`      // Gets that found a record
+	Puts      int64 `json:"puts"`      // records appended since open
+	DupPuts   int64 `json:"dup_puts"`  // Puts dropped as already present
+	Truncated int64 `json:"truncated"` // bytes cut from a corrupt tail at open
+}
+
+// Store is an open result store. All methods are safe for concurrent
+// use: appends serialize on an internal mutex, reads share an RWMutex'd
+// index and an os.File ReadAt (itself concurrency-safe).
+type Store struct {
+	mu   sync.Mutex // serializes appends and Close
+	f    *os.File
+	size int64 // current log length (next append offset)
+	path string
+
+	imu   sync.RWMutex
+	index map[string]recordLoc
+
+	gets, hits, puts, dups atomic.Int64
+	truncated              int64
+	closed                 bool
+}
+
+// Open opens (creating if needed) the store rooted at dir. A torn or
+// corrupt log tail — the signature of a crash mid-batch — is detected
+// by CRC and truncated back to the last intact record; Stats.Truncated
+// reports how many bytes were cut.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: make(map[string]recordLoc)}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Make the log's directory entry itself durable: fsync-on-batch
+	// protects record bytes, but a power loss right after the store's
+	// first creation could otherwise drop the whole file.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log, building the index and truncating anything
+// after the last record that verifies.
+func (s *Store) recover() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		if _, err := s.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.size = int64(len(magic))
+		return nil
+	}
+	if size < int64(len(magic)) {
+		// A torn header write: nothing recoverable, start over.
+		return s.truncateTo(0, size, true)
+	}
+	hdr := make([]byte, len(magic))
+	if _, err := s.f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if string(hdr) != magic {
+		return fmt.Errorf("store: %s is not a result log (bad magic %q)", s.path, hdr)
+	}
+
+	off := int64(len(magic))
+	buf := make([]byte, headerLen)
+	for off < size {
+		if size-off < int64(headerLen) {
+			return s.truncateTo(off, size, false)
+		}
+		if _, err := s.f.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		n := int(binary.BigEndian.Uint32(buf[:4]))
+		if n <= 0 || n > maxPayload || size-off < int64(headerLen+n+4) {
+			return s.truncateTo(off, size, false)
+		}
+		body := make([]byte, keySize+n+4)
+		if _, err := s.f.ReadAt(body, off+4); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		want := binary.BigEndian.Uint32(body[keySize+n:])
+		if crc32.Checksum(body[:keySize+n], crcTable) != want {
+			return s.truncateTo(off, size, false)
+		}
+		key := hex.EncodeToString(body[:keySize])
+		s.index[key] = recordLoc{off: off + int64(headerLen), n: n}
+		off += int64(headerLen + n + 4)
+	}
+	s.size = off
+	return nil
+}
+
+// truncateTo cuts the log at off (rewriting the magic when the header
+// itself was torn) and records the loss.
+func (s *Store) truncateTo(off, size int64, rewriteMagic bool) error {
+	s.truncated = size - off
+	if rewriteMagic {
+		off = 0
+	}
+	if err := s.f.Truncate(off); err != nil {
+		return fmt.Errorf("store: truncating corrupt tail: %w", err)
+	}
+	if rewriteMagic {
+		if _, err := s.f.WriteAt([]byte(magic), 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		off = int64(len(magic))
+		s.truncated = size
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.size = off
+	return nil
+}
+
+// Has reports whether a result for the digest is stored.
+func (s *Store) Has(digest string) bool {
+	s.imu.RLock()
+	_, ok := s.index[digest]
+	s.imu.RUnlock()
+	return ok
+}
+
+// Len returns the number of distinct digests indexed.
+func (s *Store) Len() int {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	return len(s.index)
+}
+
+// Get returns the stored result for the digest, if any. It never
+// blocks on writers beyond the index lookup.
+func (s *Store) Get(digest string) (engine.Result, bool, error) {
+	s.gets.Add(1)
+	s.imu.RLock()
+	loc, ok := s.index[digest]
+	s.imu.RUnlock()
+	if !ok {
+		return engine.Result{}, false, nil
+	}
+	payload := make([]byte, loc.n)
+	if _, err := s.f.ReadAt(payload, loc.off); err != nil {
+		return engine.Result{}, false, fmt.Errorf("store: reading %s: %w", digest[:12], err)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return engine.Result{}, false, fmt.Errorf("store: decoding %s: %w", digest[:12], err)
+	}
+	s.hits.Add(1)
+	return res, true, nil
+}
+
+// Put stores one result (a single-record batch: one append, one fsync).
+// A result whose digest is already present is dropped — content
+// addressing makes the second copy redundant by construction.
+func (s *Store) Put(res engine.Result) error {
+	return s.PutBatch([]engine.Result{res})
+}
+
+// PutBatch appends every not-yet-present result and flushes the batch
+// with a single fsync, so large sweeps pay one disk barrier rather than
+// one per scenario. The index is published only after the fsync
+// succeeds: a reader can never be handed a record the disk might still
+// lose.
+func (s *Store) PutBatch(results []engine.Result) error {
+	if len(results) == 0 {
+		return nil
+	}
+	type staged struct {
+		key string
+		loc recordLoc
+	}
+	var buf []byte
+	var stage []staged
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	off := s.size
+	seen := make(map[string]bool, len(results))
+	for _, res := range results {
+		key := res.Scenario.Digest()
+		if seen[key] || s.Has(key) {
+			s.dups.Add(1)
+			continue
+		}
+		seen[key] = true
+		rawKey, err := hex.DecodeString(key)
+		if err != nil || len(rawKey) != keySize {
+			return fmt.Errorf("store: bad digest %q", key)
+		}
+		payload, err := json.Marshal(&res)
+		if err != nil {
+			return fmt.Errorf("store: encoding %s: %w", res.Scenario.Name, err)
+		}
+		if len(payload) > maxPayload {
+			return fmt.Errorf("store: result %s exceeds the %d-byte record bound", res.Scenario.Name, maxPayload)
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		rec := len(buf)
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, rawKey...)
+		buf = append(buf, payload...)
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf[rec+4:], crcTable))
+		buf = append(buf, crc[:]...)
+		stage = append(stage, staged{key: key, loc: recordLoc{
+			off: off + int64(rec+headerLen),
+			n:   len(payload),
+		}})
+	}
+	if len(stage) == 0 {
+		return nil
+	}
+	if _, err := s.f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.size = off + int64(len(buf))
+	s.imu.Lock()
+	for _, st := range stage {
+		s.index[st.key] = st.loc
+	}
+	s.imu.Unlock()
+	s.puts.Add(int64(len(stage)))
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.imu.RLock()
+	records := len(s.index)
+	s.imu.RUnlock()
+	s.mu.Lock()
+	size := s.size
+	s.mu.Unlock()
+	return Stats{
+		Records:   records,
+		LogBytes:  size,
+		Gets:      s.gets.Load(),
+		Hits:      s.hits.Load(),
+		Puts:      s.puts.Load(),
+		DupPuts:   s.dups.Load(),
+		Truncated: s.truncated,
+	}
+}
+
+// Close flushes and closes the log. Further Puts fail; Gets against
+// the closed file return errors.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.f.Close()
+}
