@@ -37,7 +37,11 @@
 //	idonly-bench -bench-json -bench-baseline BENCH_1.json
 //	                                         # also compare against a checked-in
 //	                                         # snapshot; exit 1 on a >2x
-//	                                         # allocs/op regression
+//	                                         # allocs/op or >1.5x ns/op regression
+//	idonly-bench -run E4 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                                         # profile any mode (experiments,
+//	                                         # grids, snapshots); inspect with
+//	                                         # `go tool pprof`
 package main
 
 import (
@@ -46,6 +50,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,7 +59,13 @@ import (
 	"idonly/internal/store"
 )
 
+// main defers the profile writers inside realMain so they flush on
+// every exit path, including failed gate comparisons.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 42, "workload seed (runs are deterministic per seed)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for sweeps and grids")
@@ -67,8 +78,39 @@ func main() {
 	benchJSON := flag.Bool("bench-json", false, "measure the experiment workloads and emit a perf snapshot as JSON")
 	benchOut := flag.String("bench-out", "", "with -bench-json: write the snapshot to this file instead of stdout")
 	benchLabel := flag.String("bench-label", "", "with -bench-json: label recorded in the snapshot")
-	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this snapshot file, exit 1 on a >2x allocs/op regression")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this snapshot file, exit 1 on a >2x allocs/op or >1.5x ns/op regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocs since start) to this file at exit")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so alloc_space/objects are complete
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	// Only an explicitly chosen -workers triggers the sequential
 	// baseline + speedup comparison: it doubles the work, so the
 	// default run sweeps the grid exactly once.
@@ -82,18 +124,18 @@ func main() {
 	if *benchJSON {
 		if err := runBenchJSON(*run, *benchLabel, *benchOut, *benchBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *grid != "" {
 		if err := runGrid(*grid, *churn, *storeDir, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
-	runExperiments(*run, *seed, *workers)
+	return runExperiments(*run, *seed, *workers)
 }
 
 // runGrid expands the named grid and sweeps it across the worker pool.
@@ -227,17 +269,17 @@ func runBenchJSON(run, label, outPath, baselinePath string) error {
 	if err != nil {
 		return err
 	}
-	if failures := experiments.CompareBenchSnapshots(base, snap, 2.0); len(failures) > 0 {
-		return fmt.Errorf("allocs/op regression vs %s:\n  %s",
+	if failures := experiments.CompareBenchSnapshots(base, snap, 2.0, 1.5); len(failures) > 0 {
+		return fmt.Errorf("perf regression vs %s:\n  %s",
 			baselinePath, strings.Join(failures, "\n  "))
 	}
-	fmt.Fprintf(os.Stderr, "allocs/op within 2x of baseline %s\n", baselinePath)
+	fmt.Fprintf(os.Stderr, "allocs/op within 2x of baseline %s; ns/op within 1.5x of the snapshot-median ratio\n", baselinePath)
 	return nil
 }
 
 // runExperiments regenerates the selected experiment tables, fanning
 // each experiment's internal sweeps across the worker pool.
-func runExperiments(run string, seed uint64, workers int) {
+func runExperiments(run string, seed uint64, workers int) int {
 	experiments.Parallelism = workers
 	want := map[string]bool{}
 	if run != "" {
@@ -264,6 +306,7 @@ func runExperiments(run string, seed uint64, workers int) {
 		for _, exp := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", exp.ID, exp.Name)
 		}
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

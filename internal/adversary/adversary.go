@@ -81,9 +81,14 @@ func SplitTargets(targets []ids.ID) (lo, hi []ids.ID) {
 
 // unicastAll builds one Send per target with the same payload.
 func unicastAll(targets []ids.ID, payload any) []sim.Send {
-	out := make([]sim.Send, 0, len(targets))
+	return unicastAllInto(make([]sim.Send, 0, len(targets)), targets, payload)
+}
+
+// unicastAllInto appends one Send per target to dst — the scratch-reuse
+// form for strategies stepped every round.
+func unicastAllInto(dst []sim.Send, targets []ids.ID, payload any) []sim.Send {
 	for _, t := range targets {
-		out = append(out, sim.Unicast(t, payload))
+		dst = append(dst, sim.Unicast(t, payload))
 	}
-	return out
+	return dst
 }

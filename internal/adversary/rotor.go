@@ -17,31 +17,32 @@ type RotorHidden struct {
 	All     []ids.ID // every node (for opinion equivocation)
 	X1, X2  float64  // the two opinions to equivocate between
 	initted map[ids.ID]bool
+	sends   []sim.Send // backs Step's return value, reused across rounds
 }
 
 // Step implements sim.Adversary.
 func (a *RotorHidden) Step(node ids.ID, round int, inbox []sim.Message) []sim.Send {
+	out := a.sends[:0]
 	switch round {
 	case 1:
-		return unicastAll(a.Subset, rotor.Init{})
+		out = unicastAllInto(out, a.Subset, rotor.Init{})
 	case 2:
-		var out []sim.Send
 		for _, msg := range inbox {
 			if _, ok := msg.Payload.(rotor.Init); ok {
 				out = append(out, sim.BroadcastPayload(rotor.Echo{P: msg.From}))
 			}
 		}
-		return out
 	default:
 		// Split opinions every round: a correct node only accepts an
 		// opinion from the coordinator it selected, so this is harmless
 		// unless this node really is selected — and then it maximally
 		// disagrees.
 		lo, hi := SplitTargets(a.All)
-		out := unicastAll(lo, rotor.Opinion{X: a.X1})
-		out = append(out, unicastAll(hi, rotor.Opinion{X: a.X2})...)
-		return out
+		out = unicastAllInto(out, lo, rotor.Opinion{X: a.X1})
+		out = unicastAllInto(out, hi, rotor.Opinion{X: a.X2})
 	}
+	a.sends = out
+	return out
 }
 
 // RotorForge claims echoes for a set of non-existent node identifiers,

@@ -27,7 +27,6 @@
 package async
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -61,7 +60,9 @@ type Process interface {
 	Output() any
 }
 
-// Context gives a process access to the clock and timers.
+// Context gives a process access to the clock and timers. It is only
+// valid for the duration of the Init/Handle/HandleTimer call it is
+// passed to — the scheduler reuses one context across events.
 type Context struct {
 	Now   float64
 	sched *Scheduler
@@ -119,23 +120,49 @@ type event struct {
 	timer string
 }
 
+// eventQueue is a binary min-heap ordered by (time, sequence). It
+// inlines the container/heap sift operations over the concrete event
+// type: heap.Push/heap.Pop box every event into an interface value,
+// which on the E7-class workloads was one allocation per event. The
+// sift algorithms are verbatim container/heap, so the pop order — and
+// with it the whole asynchronous schedule — is unchanged.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+func (q eventQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (q eventQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // Scheduler executes an asynchronous system deterministically.
@@ -147,8 +174,9 @@ type Scheduler struct {
 	seq       int
 	now       float64
 	events    int
-	started   bool // Init already ran; further Run calls resume instead
-	undecided int  // processes not yet observed Decided
+	started   bool    // Init already ran; further Run calls resume instead
+	undecided int     // processes not yet observed Decided
+	ctx       Context // reused across events; valid only within a handler call
 }
 
 // NewScheduler creates a scheduler over the given processes with the
@@ -172,23 +200,40 @@ func NewScheduler(procs []Process, delay DelayFn) *Scheduler {
 func (s *Scheduler) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue = append(s.queue, e)
+	s.queue.up(len(s.queue) - 1)
+}
+
+// pop removes and returns the minimum event, exactly as heap.Pop would.
+func (s *Scheduler) pop() event {
+	q := s.queue
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	q.down(0, n)
+	e := q[n]
+	q[n] = event{}
+	s.queue = q[:n]
+	return e
 }
 
 func (s *Scheduler) dispatch(from ids.ID, sends []Send) {
 	for _, snd := range sends {
-		targets := []ids.ID{snd.To}
 		if snd.To == Broadcast {
-			targets = s.order
-		}
-		for _, to := range targets {
-			d := s.delay(from, to, snd.Payload)
-			if d < 0 {
-				continue // dropped / infinitely delayed
+			for _, to := range s.order {
+				s.dispatchOne(from, to, snd.Payload)
 			}
-			s.push(event{at: s.now + d, kind: evMessage, to: to, from: from, pay: snd.Payload})
+		} else {
+			s.dispatchOne(from, snd.To, snd.Payload)
 		}
 	}
+}
+
+func (s *Scheduler) dispatchOne(from, to ids.ID, payload any) {
+	d := s.delay(from, to, payload)
+	if d < 0 {
+		return // dropped / infinitely delayed
+	}
+	s.push(event{at: s.now + d, kind: evMessage, to: to, from: from, pay: payload})
 }
 
 // Run executes events up to and including the horizon (or until the
@@ -202,12 +247,11 @@ func (s *Scheduler) dispatch(from ids.ID, sends []Send) {
 func (s *Scheduler) Run(horizon float64) int {
 	if !s.started {
 		s.started = true
-		heap.Init(&s.queue)
 		for _, id := range s.order {
 			p := s.procs[id]
 			decidedBefore := p.Decided()
-			ctx := &Context{Now: s.now, sched: s, self: id}
-			s.dispatch(id, p.Init(ctx))
+			s.ctx = Context{Now: s.now, sched: s, self: id}
+			s.dispatch(id, p.Init(&s.ctx))
 			if !decidedBefore && p.Decided() {
 				s.undecided--
 			}
@@ -217,18 +261,18 @@ func (s *Scheduler) Run(horizon float64) int {
 		if s.queue[0].at > horizon {
 			break // past the horizon: leave it queued for the next Run
 		}
-		e := heap.Pop(&s.queue).(event)
+		e := s.pop()
 		s.now = e.at
 		p := s.procs[e.to]
 		if p == nil || p.Decided() {
 			continue
 		}
-		ctx := &Context{Now: e.at, sched: s, self: e.to}
+		s.ctx = Context{Now: e.at, sched: s, self: e.to}
 		var sends []Send
 		if e.kind == evTimer {
-			sends = p.HandleTimer(ctx, e.timer)
+			sends = p.HandleTimer(&s.ctx, e.timer)
 		} else {
-			sends = p.Handle(ctx, Message{From: e.from, Payload: e.pay})
+			sends = p.Handle(&s.ctx, Message{From: e.from, Payload: e.pay})
 		}
 		s.dispatch(e.to, sends)
 		s.events++

@@ -183,19 +183,30 @@ type KingNode struct {
 	n, f int
 	xv   float64
 
-	strongTally  *quorum.Tally[float64]
-	kingOpinion  map[ids.ID]float64
-	phase        int
-	decided      bool
-	helpUntil    int  // keep participating through this phase after deciding
-	helpDone     bool // the help phase has fully elapsed
-	output       float64
-	decidedRound int
+	strongTally *quorum.Tally[float64]
+	// Per-round scratch, reset (not reallocated) every Step; strongTally
+	// and inStrongs swap in round D so the buffer survives round E.
+	inInputs, inPrefers, inStrongs *quorum.Tally[float64]
+	inKings                        map[ids.ID]float64
+	sends                          []sim.Send // backs Step's return value, reused
+	phase                          int
+	decided                        bool
+	helpUntil                      int  // keep participating through this phase after deciding
+	helpDone                       bool // the help phase has fully elapsed
+	output                         float64
+	decidedRound                   int
 }
 
 // NewKing returns a phase-king node; ids must be 1..n.
 func NewKing(id ids.ID, n, f int, x float64) *KingNode {
-	return &KingNode{id: id, n: n, f: f, xv: x, strongTally: quorum.NewTally[float64]()}
+	return &KingNode{
+		id: id, n: n, f: f, xv: x,
+		strongTally: quorum.NewTally[float64](),
+		inInputs:    quorum.NewTally[float64](),
+		inPrefers:   quorum.NewTally[float64](),
+		inStrongs:   quorum.NewTally[float64](),
+		inKings:     make(map[ids.ID]float64),
+	}
 }
 
 // ID implements sim.Process.
@@ -229,12 +240,20 @@ func (k *KingNode) kingOf(phase int) ids.ID {
 	return ids.ID((phase-1)%k.n + 1)
 }
 
+// emit stores sends in the node-owned scratch backing Step's return
+// value (consumed by the runner before the next Step).
+func (k *KingNode) emit(sends ...sim.Send) []sim.Send {
+	k.sends = append(k.sends[:0], sends...)
+	return k.sends
+}
+
 // Step implements sim.Process.
 func (k *KingNode) Step(round int, inbox []sim.Message) []sim.Send {
-	inputs := quorum.NewTally[float64]()
-	prefers := quorum.NewTally[float64]()
-	strongs := quorum.NewTally[float64]()
-	kings := make(map[ids.ID]float64)
+	inputs, prefers, strongs, kings := k.inInputs, k.inPrefers, k.inStrongs, k.inKings
+	inputs.Reset()
+	prefers.Reset()
+	strongs.Reset()
+	clear(kings)
 	for _, msg := range inbox {
 		switch p := msg.Payload.(type) {
 		case KInput:
@@ -257,10 +276,10 @@ func (k *KingNode) Step(round int, inbox []sim.Message) []sim.Send {
 		if k.helpDone {
 			return nil
 		}
-		return []sim.Send{sim.BroadcastPayload(KInput{X: k.xv})}
+		return k.emit(sim.BroadcastPayload(KInput{X: k.xv}))
 	case 1: // B
 		if x, c, ok := bestFloat(inputs); ok && c >= k.n-k.f {
-			return []sim.Send{sim.BroadcastPayload(KPrefer{X: x})}
+			return k.emit(sim.BroadcastPayload(KPrefer{X: x}))
 		}
 		return nil
 	case 2: // C
@@ -270,17 +289,18 @@ func (k *KingNode) Step(round int, inbox []sim.Message) []sim.Send {
 			k.xv = x
 		}
 		if ok && c >= k.n-k.f {
-			out = append(out, sim.BroadcastPayload(KStrong{X: x}))
+			out = k.emit(sim.BroadcastPayload(KStrong{X: x}))
 		}
 		return out
 	case 3: // D — the phase king broadcasts; strongprefers buffered
-		k.strongTally = strongs
+		// Swap the filled scratch in as the buffer; the old buffer is
+		// reset at the top of the next Step.
+		k.strongTally, k.inStrongs = strongs, k.strongTally
 		if k.kingOf(k.phase) == k.id {
-			return []sim.Send{sim.BroadcastPayload(KKing{X: k.xv})}
+			return k.emit(sim.BroadcastPayload(KKing{X: k.xv}))
 		}
 		return nil
 	default: // E — evaluate
-		k.kingOpinion = kings
 		x, c, ok := bestFloat(k.strongTally)
 		switch {
 		case k.decided:
@@ -298,7 +318,6 @@ func (k *KingNode) Step(round int, inbox []sim.Message) []sim.Send {
 				k.xv = kx
 			}
 		}
-		k.strongTally = quorum.NewTally[float64]()
 		return nil
 	}
 }

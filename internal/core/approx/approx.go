@@ -34,15 +34,21 @@ type Value struct {
 // trim would discard everything (n must be ≥ 1 and the trim leaves
 // n − 2⌊n/3⌋ ≥ 1 values for any n ≥ 1).
 func Reduce(values []float64) float64 {
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	return reduceInPlace(sorted)
+}
+
+// reduceInPlace is Reduce over a caller-owned scratch slice it may
+// freely reorder — the allocation-free path of the iterated workloads.
+func reduceInPlace(values []float64) float64 {
 	nv := len(values)
 	if nv == 0 {
 		panic("approx: Reduce with no values")
 	}
-	sorted := make([]float64, nv)
-	copy(sorted, values)
-	sort.Float64s(sorted)
+	sort.Float64s(values)
 	t := quorum.FloorThird(nv)
-	kept := sorted[t : nv-t]
+	kept := values[t : nv-t]
 	// Halve before adding so the midpoint of two near-MaxFloat64 values
 	// cannot overflow to ±Inf.
 	return kept[0]/2 + kept[len(kept)-1]/2
@@ -98,6 +104,11 @@ type Iterated struct {
 	first      int // the global round of this node's first Step (0 = not stepped yet)
 	decided    bool
 	History    []float64
+
+	// Per-round scratch for collect/reduce, reused across iterations.
+	seenScratch map[ids.ID]bool
+	valScratch  []float64
+	sends       []sim.Send // backs Step's return value, reused
 }
 
 // NewIterated returns a node that performs the given number of
@@ -129,7 +140,12 @@ func (n *Iterated) Step(round int, inbox []sim.Message) []sim.Send {
 		n.first = round
 	}
 	if round > n.first {
-		n.x = Reduce(collect(inbox))
+		if n.seenScratch == nil {
+			n.seenScratch = make(map[ids.ID]bool)
+		}
+		clear(n.seenScratch)
+		n.valScratch = collectInto(inbox, n.seenScratch, n.valScratch[:0])
+		n.x = reduceInPlace(n.valScratch)
 		n.History = append(n.History, n.x)
 		n.done++
 		if n.done >= n.iterations {
@@ -137,7 +153,8 @@ func (n *Iterated) Step(round int, inbox []sim.Message) []sim.Send {
 			return nil
 		}
 	}
-	return []sim.Send{sim.BroadcastPayload(Value{X: n.x})}
+	n.sends = append(n.sends[:0], sim.BroadcastPayload(Value{X: n.x}))
+	return n.sends
 }
 
 // collect extracts one value per sender from the inbox (the first in
@@ -146,8 +163,12 @@ func (n *Iterated) Step(round int, inbox []sim.Message) []sim.Send {
 // the model delivers at most one value per sender per round to the
 // algorithm's multiset Rv).
 func collect(inbox []sim.Message) []float64 {
-	seen := make(map[ids.ID]bool)
-	var values []float64
+	return collectInto(inbox, make(map[ids.ID]bool), nil)
+}
+
+// collectInto is collect over caller-owned scratch: seen must be empty,
+// values is appended to and returned.
+func collectInto(inbox []sim.Message, seen map[ids.ID]bool, values []float64) []float64 {
 	for _, msg := range inbox {
 		v, ok := msg.Payload.(Value)
 		if !ok || seen[msg.From] {

@@ -73,6 +73,13 @@ type Node struct {
 	strongTally *quorum.Tally[float64] // buffered from round D, judged in E
 	prevCoord   ids.ID                 // coordinator selected in this phase's round D
 
+	// Per-round scratch, reset (not reallocated) by absorb every round.
+	// strongTally and inStrongs swap in round D, so the buffered
+	// strongprefers survive round E's absorb without a fresh tally.
+	inInputs, inPrefers, inStrongs *quorum.Tally[float64]
+	inOpinions                     map[ids.ID]float64
+	sends                          []sim.Send // backs Step's return value, reused
+
 	phase        int // 1-based phase counter
 	decided      bool
 	output       float64
@@ -104,6 +111,10 @@ func NewWithOptions(id ids.ID, x float64, opts Options) *Node {
 		core:        rotor.NewCore(id),
 		senders:     make(map[ids.ID]bool),
 		strongTally: quorum.NewTally[float64](),
+		inInputs:    quorum.NewTally[float64](),
+		inPrefers:   quorum.NewTally[float64](),
+		inStrongs:   quorum.NewTally[float64](),
+		inOpinions:  make(map[ids.ID]float64),
 	}
 }
 
@@ -132,18 +143,26 @@ func (n *Node) CoordinatorAdoptions() int { return n.coordAdopted }
 // NV returns the frozen membership size (0 before initialization ends).
 func (n *Node) NV() int { return n.nv }
 
+// emit stores sends in the node-owned scratch backing Step's return
+// value (consumed by the runner before the next Step).
+func (n *Node) emit(sends ...sim.Send) []sim.Send {
+	n.sends = append(n.sends[:0], sends...)
+	return n.sends
+}
+
 // Step implements sim.Process.
 func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	inputs, prefers, strongs, opinions := n.absorb(inbox)
 
 	switch round {
 	case 1: // init round 1: rotor init broadcast
-		return []sim.Send{sim.BroadcastPayload(rotor.Init{})}
+		return n.emit(sim.BroadcastPayload(rotor.Init{}))
 	case 2: // init round 2: rotor echoes for every init received
-		var out []sim.Send
+		out := n.sends[:0]
 		for _, p := range n.core.EchoInits() {
 			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
 		}
+		n.sends = out
 		return out
 	}
 
@@ -160,13 +179,13 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		n.phase++
 		n.lastInput, n.hasLastInput = n.xv, true
 		n.hasLastPrefer, n.hasLastStrong = false, false
-		return []sim.Send{sim.BroadcastPayload(Input{X: n.xv})}
+		return n.emit(sim.BroadcastPayload(Input{X: n.xv}))
 
 	case 1: // B — count inputs, maybe broadcast prefer
 		n.substitute(inputs, n.lastInput, n.hasLastInput)
 		if x, count, ok := best(inputs); ok && quorum.AtLeastTwoThirds(count, n.nv) {
 			n.lastPrefer, n.hasLastPrefer = x, true
-			return []sim.Send{sim.BroadcastPayload(Prefer{X: x})}
+			return n.emit(sim.BroadcastPayload(Prefer{X: x}))
 		}
 		return nil
 
@@ -178,16 +197,18 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			}
 			if quorum.AtLeastTwoThirds(count, n.nv) {
 				n.lastStrong, n.hasLastStrong = x, true
-				return []sim.Send{sim.BroadcastPayload(StrongPrefer{X: x})}
+				return n.emit(sim.BroadcastPayload(StrongPrefer{X: x}))
 			}
 		}
 		return nil
 
 	case 3: // D — rotor round; strongprefers arrive here and are buffered
 		n.substitute(strongs, n.lastStrong, n.hasLastStrong)
-		n.strongTally = strongs
+		// Swap the filled scratch in as the buffer; the old buffer
+		// becomes next round's scratch (absorb resets it before use).
+		n.strongTally, n.inStrongs = strongs, n.strongTally
 		relays, sel := n.core.Advance(n.nv)
-		var out []sim.Send
+		out := n.sends[:0]
 		for _, p := range relays {
 			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
 		}
@@ -199,6 +220,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		} else {
 			n.prevCoord = 0
 		}
+		n.sends = out
 		return out
 
 	default: // E — judge strongprefers, adopt coordinator or terminate
@@ -217,19 +239,21 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 				}
 			}
 		}
-		n.strongTally = quorum.NewTally[float64]()
 		return nil
 	}
 }
 
 // absorb classifies the inbox: membership/rotor bookkeeping plus
 // per-kind tallies of this round's consensus messages. Messages from
-// non-members are discarded once the membership is frozen.
+// non-members are discarded once the membership is frozen. The
+// returned tallies and opinion map are the node's own per-round
+// scratch, valid until the next Step.
 func (n *Node) absorb(inbox []sim.Message) (inputs, prefers, strongs *quorum.Tally[float64], opinions map[ids.ID]float64) {
-	inputs = quorum.NewTally[float64]()
-	prefers = quorum.NewTally[float64]()
-	strongs = quorum.NewTally[float64]()
-	opinions = make(map[ids.ID]float64)
+	inputs, prefers, strongs, opinions = n.inInputs, n.inPrefers, n.inStrongs, n.inOpinions
+	inputs.Reset()
+	prefers.Reset()
+	strongs.Reset()
+	clear(opinions)
 	for _, msg := range inbox {
 		if n.members == nil {
 			n.senders[msg.From] = true

@@ -109,8 +109,9 @@ type Node struct {
 	sessions map[int]*session
 
 	chain      []Event
-	finalUpTo  int  // R: all rounds <= R are final
-	harvestGap bool // a session was harvested before its machine finished (must never happen under n > 3f)
+	finalUpTo  int        // R: all rounds <= R are final
+	sends      []sim.Send // backs Step's return value, reused across rounds
+	harvestGap bool       // a session was harvested before its machine finished (must never happen under n > 3f)
 }
 
 // Config constructs a Node.
@@ -198,7 +199,8 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	switch n.state {
 	case stJoinAnnounce:
 		n.state = stJoinWait
-		return []sim.Send{sim.BroadcastPayload(Present{})}
+		n.sends = append(n.sends[:0], sim.BroadcastPayload(Present{}))
+		return n.sends
 	case stJoinWait:
 		// Acks are still in flight; remember peers joining alongside us.
 		for _, msg := range inbox {
@@ -245,7 +247,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	// ---- main loop body (Algorithm 6 lines 7–31), one round ----
 	n.r++
 
-	var out []sim.Send
+	out := n.sends[:0]
 	var ackTo []ids.ID
 	events := make(map[ids.ID]string) // I_r: first event per sender tagged r-1
 	sessInbox := make(map[int][]sim.Message)
@@ -344,6 +346,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			n.state = stLeft
 		}
 	}
+	n.sends = out
 	return out
 }
 

@@ -1,0 +1,81 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"idonly/internal/sim"
+)
+
+// Typed sort keys (sim.SortKeyer): byte-identical to fmt.Sprint of each
+// payload, with per-type ordinals from the dynamic range. SessMsg is
+// the one wrapper type in the repository: it composes its ordinal with
+// its inner payload's (outer<<16 | inner) so that two session messages
+// whose inner types render the same bytes — e.g. parallel.NoPref and
+// parallel.NoStrongPref for the same pair — remain distinct to the
+// duplicate filter, exactly as interface equality kept them distinct.
+// A SessMsg wrapping an unregistered (or doubly wrapped) payload
+// returns ordinal 0, falling back to interface-identity dedup.
+
+const (
+	ordPresent  = sim.OrdBaseDynamic + 1
+	ordAck      = sim.OrdBaseDynamic + 2
+	ordAbsent   = sim.OrdBaseDynamic + 3
+	ordEventMsg = sim.OrdBaseDynamic + 4
+	ordSessMsg  = sim.OrdBaseDynamic + 5
+)
+
+// AppendSortKey implements sim.SortKeyer.
+func (Present) AppendSortKey(dst []byte) []byte { return append(dst, "{}"...) }
+
+// SortKeyOrdinal implements sim.SortKeyer.
+func (Present) SortKeyOrdinal() uint32 { return ordPresent }
+
+// AppendSortKey implements sim.SortKeyer.
+func (m Ack) AppendSortKey(dst []byte) []byte {
+	dst = sim.AppendInt(append(dst, '{'), int64(m.R))
+	return append(dst, '}')
+}
+
+// SortKeyOrdinal implements sim.SortKeyer.
+func (Ack) SortKeyOrdinal() uint32 { return ordAck }
+
+// AppendSortKey implements sim.SortKeyer.
+func (Absent) AppendSortKey(dst []byte) []byte { return append(dst, "{}"...) }
+
+// SortKeyOrdinal implements sim.SortKeyer.
+func (Absent) SortKeyOrdinal() uint32 { return ordAbsent }
+
+// AppendSortKey implements sim.SortKeyer.
+func (m EventMsg) AppendSortKey(dst []byte) []byte {
+	dst = append(append(dst, '{'), m.M...)
+	dst = sim.AppendInt(append(dst, ' '), int64(m.R))
+	return append(dst, '}')
+}
+
+// SortKeyOrdinal implements sim.SortKeyer.
+func (EventMsg) SortKeyOrdinal() uint32 { return ordEventMsg }
+
+// AppendSortKey implements sim.SortKeyer.
+func (m SessMsg) AppendSortKey(dst []byte) []byte {
+	dst = sim.AppendInt(append(dst, '{'), int64(m.Sess))
+	dst = append(dst, ' ')
+	switch inner := m.Inner.(type) {
+	case sim.SortKeyer:
+		dst = inner.AppendSortKey(dst)
+	case nil:
+		dst = append(dst, "<nil>"...)
+	default:
+		dst = fmt.Append(dst, inner)
+	}
+	return append(dst, '}')
+}
+
+// SortKeyOrdinal implements sim.SortKeyer.
+func (m SessMsg) SortKeyOrdinal() uint32 {
+	if sk, ok := m.Inner.(sim.SortKeyer); ok {
+		if inner := sk.SortKeyOrdinal(); inner != 0 && inner <= 0xffff {
+			return ordSessMsg<<16 | inner
+		}
+	}
+	return 0
+}

@@ -136,7 +136,10 @@ type Machine struct {
 	nv      int
 
 	insts     map[PairID]*instance
-	order     []PairID // deterministic iteration order (sorted, maintained on insert)
+	arr       map[PairID]*arrivals // pooled per-instance arrival state, reset per round
+	arrGen    int                  // round stamp for the lazy per-round reset
+	order     []PairID             // deterministic iteration order (sorted, maintained on insert)
+	out       []any                // backs Step's return value, reused across rounds
 	prevCoord ids.ID
 	round     int
 }
@@ -151,6 +154,7 @@ func NewMachine(self ids.ID, inputs map[PairID]Val, members []ids.ID) *Machine {
 		core:    rotor.NewCore(self),
 		senders: make(map[ids.ID]bool),
 		insts:   make(map[PairID]*instance),
+		arr:     make(map[PairID]*arrivals),
 	}
 	if members != nil {
 		m.filter = make(map[ids.ID]bool, len(members))
@@ -234,35 +238,58 @@ func phaseNum(round int) int {
 	return (round-consensus.InitRounds-1)/consensus.PhaseRounds + 1
 }
 
+// arrivals is the per-instance arrival state of one round: per-kind
+// tallies plus the responders per kind — members that sent *any*
+// message of the kind, including the explicit no-preference markers;
+// these are exempt from substitution. The structs are pooled on the
+// Machine and reset lazily (gen stamps the round they were last used
+// in), so steady-state rounds allocate none.
+type arrivals struct {
+	inputs    *quorum.Tally[Val]
+	prefers   *quorum.Tally[Val]
+	strongs   *quorum.Tally[Val]
+	responded [numKinds]map[ids.ID]bool
+	gen       int
+}
+
+func newArrivals() *arrivals {
+	a := &arrivals{
+		inputs:  quorum.NewTally[Val](),
+		prefers: quorum.NewTally[Val](),
+		strongs: quorum.NewTally[Val](),
+	}
+	for k := range a.responded {
+		a.responded[k] = make(map[ids.ID]bool)
+	}
+	return a
+}
+
+func (a *arrivals) reset() {
+	a.inputs.Reset()
+	a.prefers.Reset()
+	a.strongs.Reset()
+	for k := range a.responded {
+		clear(a.responded[k])
+	}
+}
+
 // Step advances the machine one round and returns the payloads to
 // broadcast (the caller wraps them for transport and broadcasts).
 func (m *Machine) Step(inbox []sim.Message) []any {
 	m.round++
 	round := m.round
 
-	// Classify this round's arrivals.
-	type arrivals struct {
-		inputs  *quorum.Tally[Val]
-		prefers *quorum.Tally[Val]
-		strongs *quorum.Tally[Val]
-		// responders per kind: members that sent *any* message of the
-		// kind, including the explicit no-preference markers; these are
-		// exempt from substitution.
-		responded [numKinds]map[ids.ID]bool
-	}
-	byInst := make(map[PairID]*arrivals)
+	// Classify this round's arrivals into the pooled per-instance state.
+	m.arrGen++
 	get := func(id PairID) *arrivals {
-		a := byInst[id]
+		a := m.arr[id]
 		if a == nil {
-			a = &arrivals{
-				inputs:  quorum.NewTally[Val](),
-				prefers: quorum.NewTally[Val](),
-				strongs: quorum.NewTally[Val](),
-			}
-			for k := range a.responded {
-				a.responded[k] = make(map[ids.ID]bool)
-			}
-			byInst[id] = a
+			a = newArrivals()
+			m.arr[id] = a
+		}
+		if a.gen != m.arrGen {
+			a.reset()
+			a.gen = m.arrGen
 		}
 		return a
 	}
@@ -322,12 +349,14 @@ func (m *Machine) Step(inbox []sim.Message) []any {
 
 	switch {
 	case round == 1: // init round 1: rotor init
-		return []any{rotor.Init{}}
+		m.out = append(m.out[:0], rotor.Init{})
+		return m.out
 	case round == 2: // init round 2: rotor echoes
-		var out []any
+		out := m.out[:0]
 		for _, p := range m.core.EchoInits() {
 			out = append(out, rotor.Echo{P: p})
 		}
+		m.out = out
 		return out
 	}
 
@@ -336,7 +365,7 @@ func (m *Machine) Step(inbox []sim.Message) []any {
 		m.nv = len(m.members)
 	}
 
-	var out []any
+	out := m.out[:0]
 	switch phasePos(round) {
 	case 0: // A — broadcast id:input(xv) for pairs with xv ≠ ⊥
 		for _, id := range m.order {
@@ -398,7 +427,10 @@ func (m *Machine) Step(inbox []sim.Message) []any {
 			}
 			a := get(id)
 			m.substitute(inst, kindStrong, round, a.strongs, a.responded[kindStrong])
-			inst.strong = a.strongs
+			// Swap the filled tally in as the round-E buffer; the pool
+			// entry takes the instance's previous buffer and resets it
+			// before its next use.
+			inst.strong, a.strongs = a.strongs, inst.strong
 		}
 		relays, sel := m.core.Advance(m.nv)
 		for _, p := range relays {
@@ -437,9 +469,10 @@ func (m *Machine) Step(inbox []sim.Message) []any {
 					}
 				}
 			}
-			inst.strong = quorum.NewTally[Val]()
+			inst.strong.Reset()
 		}
 	}
+	m.out = out
 	return out
 }
 
@@ -528,6 +561,7 @@ func bestVal(t *quorum.Tally[Val]) (x Val, count int, ok bool) {
 // Node adapts a Machine to sim.Process for static-network use.
 type Node struct {
 	machine *Machine
+	sends   []sim.Send // backs Step's return value, reused across rounds
 	decided bool
 }
 
@@ -560,9 +594,10 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	if n.machine.round >= consensus.InitRounds+consensus.PhaseRounds && n.machine.Done() {
 		n.decided = true
 	}
-	var out []sim.Send
+	out := n.sends[:0]
 	for _, p := range payloads {
 		out = append(out, sim.BroadcastPayload(p))
 	}
+	n.sends = out
 	return out
 }

@@ -59,10 +59,14 @@ type Node struct {
 	id       ids.ID
 	source   bool
 	m        string
-	senders  map[ids.ID]bool        // distinct nodes heard from (defines nv)
+	senders  quorum.IDSet           // distinct nodes heard from (defines nv)
 	echoes   *quorum.Witnesses[Key] // cumulative distinct echo senders per key
 	accepted map[Key]int            // key -> round of acceptance
 	echoed   map[Key]bool           // keys for which the round-2 direct echo fired
+
+	directScratch []Key      // per-round direct-initials scratch, reused
+	keyScratch    []Key      // per-round echo-key scratch, reused
+	sends         []sim.Send // backs Step's return value, reused across rounds
 }
 
 // New returns a node. If source is true the node broadcasts (m, id) in
@@ -72,7 +76,6 @@ func New(id ids.ID, source bool, m string) *Node {
 		id:       id,
 		source:   source,
 		m:        m,
-		senders:  make(map[ids.ID]bool),
 		echoes:   quorum.NewWitnesses[Key](),
 		accepted: make(map[Key]int),
 		echoed:   make(map[Key]bool),
@@ -105,15 +108,15 @@ func (n *Node) AcceptedKeys() map[Key]int {
 }
 
 // NV returns the node's current nv (distinct nodes heard from).
-func (n *Node) NV() int { return len(n.senders) }
+func (n *Node) NV() int { return n.senders.Len() }
 
 // Step implements sim.Process and follows Algorithm 1 line by line.
 func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	// Every received message counts its sender toward nv, and every
 	// echo accumulates a witness, regardless of the round.
-	directInitials := make([]Key, 0, 1)
+	directInitials := n.directScratch[:0]
 	for _, msg := range inbox {
-		n.senders[msg.From] = true
+		n.senders.Add(msg.From)
 		switch p := msg.Payload.(type) {
 		case Initial:
 			// "Received (m, s) from s": the initial message is only
@@ -129,7 +132,9 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		}
 	}
 
-	var out []sim.Send
+	n.directScratch = directInitials
+
+	out := n.sends[:0]
 	switch {
 	case round == 1: // Round 1: source broadcasts (m, s); others Present.
 		if n.source {
@@ -145,8 +150,9 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			}
 		}
 	default: // Rounds 3..∞: threshold echo and accept.
-		nv := len(n.senders)
-		for _, k := range sortedKeys(n.echoes.Keys()) {
+		nv := n.senders.Len()
+		n.keyScratch = n.echoes.AppendKeys(n.keyScratch[:0])
+		for _, k := range sortedKeys(n.keyScratch) {
 			count := n.echoes.Count(k)
 			if quorum.AtLeastThird(count, nv) && !hasKey(n.accepted, k) {
 				// Line 13: re-broadcast echo while not yet accepted (the
@@ -159,6 +165,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			}
 		}
 	}
+	n.sends = out
 	return out
 }
 

@@ -23,6 +23,7 @@
 package rotor
 
 import (
+	"slices"
 	"sort"
 
 	"idonly/internal/ids"
@@ -55,6 +56,9 @@ type Core struct {
 	sv       map[ids.ID]bool // selected coordinators
 	selected []ids.ID        // selection sequence (one per Advance)
 	r        int             // next selection round index (starts at 0)
+
+	keyScratch   []ids.ID // reused by Advance's per-round echo-key sort
+	relayScratch []ids.ID // backs Advance's relays return; valid until the next Advance
 }
 
 // NewCore returns an empty rotor core for the given node.
@@ -96,7 +100,9 @@ type Selection struct {
 // Advance executes the candidate-set maintenance and coordinator
 // selection of one rotor round (Algorithm 2 lines 6–24), given the
 // current nv. It returns the echo(p) relays to broadcast this round and
-// the selection outcome. When sel.Reselected is true the standalone
+// the selection outcome. The relays slice is scratch owned by the core,
+// valid until the next Advance — every embedding converts it to sends
+// within the same round. When sel.Reselected is true the standalone
 // algorithm terminates; embedded uses keep cycling (their host protocol
 // has its own termination) and the selection sequence simply wraps
 // around Cv.
@@ -106,8 +112,10 @@ func (c *Core) Advance(nv int) (relays []ids.ID, sel Selection) {
 	// relay check precedes admission within a round, as in the
 	// pseudocode, so a node may both relay echo(p) and admit p in the
 	// same round.
-	keys := c.echoes.Keys()
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := c.echoes.AppendKeys(c.keyScratch[:0])
+	c.keyScratch = keys
+	relays = c.relayScratch[:0]
+	slices.Sort(keys)
 	for _, p := range keys {
 		count := c.echoes.Count(p)
 		if quorum.AtLeastThird(count, nv) && !c.inCv[p] {
@@ -117,6 +125,7 @@ func (c *Core) Advance(nv int) (relays []ids.ID, sel Selection) {
 			c.insertCandidate(p)
 		}
 	}
+	c.relayScratch = relays
 
 	// Line 16: select the next coordinator.
 	if len(c.cv) == 0 {
@@ -178,9 +187,11 @@ type Node struct {
 	id        ids.ID
 	opinion   float64
 	core      *Core
-	senders   map[ids.ID]bool // nv bookkeeping
-	prevCoord ids.ID          // coordinator selected in the previous round (0 = none)
+	senders   quorum.IDSet // nv bookkeeping
+	prevCoord ids.ID       // coordinator selected in the previous round (0 = none)
 	accepted  []AcceptedOpinion
+	opScratch map[ids.ID]float64 // per-round opinion scratch, cleared each Step
+	sends     []sim.Send         // backs Step's return value, reused across rounds
 	done      bool
 	doneRound int
 }
@@ -188,10 +199,10 @@ type Node struct {
 // New returns a rotor-coordinator node whose own opinion is x.
 func New(id ids.ID, x float64) *Node {
 	return &Node{
-		id:      id,
-		opinion: x,
-		core:    NewCore(id),
-		senders: make(map[ids.ID]bool),
+		id:        id,
+		opinion:   x,
+		core:      NewCore(id),
+		opScratch: make(map[ids.ID]float64),
 	}
 }
 
@@ -225,9 +236,10 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	// Absorb traffic: every sender counts toward nv; echoes and inits
 	// feed the core; opinions are matched against the coordinator
 	// selected in the previous round.
-	opinions := make(map[ids.ID]float64)
+	opinions := n.opScratch
+	clear(opinions)
 	for _, msg := range inbox {
-		n.senders[msg.From] = true
+		n.senders.Add(msg.From)
 		switch p := msg.Payload.(type) {
 		case Init:
 			n.core.AbsorbInit(msg.From)
@@ -240,19 +252,21 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		}
 	}
 
+	out := n.sends[:0]
 	switch round {
 	case 1: // Line 3: broadcast init.
-		return []sim.Send{sim.BroadcastPayload(Init{})}
+		n.sends = append(out, sim.BroadcastPayload(Init{}))
+		return n.sends
 	case 2: // Line 4: broadcast echo(p) for every init received.
-		var out []sim.Send
 		for _, p := range n.core.EchoInits() {
 			out = append(out, sim.BroadcastPayload(Echo{P: p}))
 		}
+		n.sends = out
 		return out
 	}
 
 	// Lines 5–30, one iteration per round.
-	nv := len(n.senders)
+	nv := n.senders.Len()
 	relays, sel := n.core.Advance(nv)
 
 	// Lines 17–20: accept the opinion of the previously selected
@@ -270,7 +284,6 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		return nil
 	}
 
-	var out []sim.Send
 	for _, p := range relays {
 		out = append(out, sim.BroadcastPayload(Echo{P: p}))
 	}
@@ -283,5 +296,6 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	} else {
 		n.prevCoord = 0
 	}
+	n.sends = out
 	return out
 }

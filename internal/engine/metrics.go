@@ -114,11 +114,14 @@ func Aggregate(results []Result) []Group {
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 
 	groups := make([]Group, 0, len(keys))
+	// Percentile scratch, reused across buckets: the samples are
+	// consumed before the next bucket fills them again.
+	var rounds, lags []int
+	var msgs []int64
 	for _, k := range keys {
 		rs := buckets[k]
 		g := Group{Key: k, Count: len(rs), DecidedNA: true}
-		var rounds, lags []int
-		var msgs []int64
+		rounds, lags, msgs = rounds[:0], lags[:0], msgs[:0]
 		for _, r := range rs {
 			if r.Err != "" {
 				g.Errors++

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"testing"
 
 	"idonly/internal/adversary"
@@ -289,13 +290,37 @@ func ReadBenchSnapshot(r io.Reader) (BenchSnapshot, error) {
 }
 
 // CompareBenchSnapshots checks cur against base and returns one error
-// line per workload whose allocs/op regressed by more than the factor
-// (e.g. 2.0 means "fail when allocations more than doubled"). Workloads
-// present on only one side are ignored: the set may grow over time.
-func CompareBenchSnapshots(base, cur BenchSnapshot, factor float64) []string {
+// line per workload whose allocs/op regressed by more than allocFactor
+// (e.g. 2.0 means "fail when allocations more than doubled") or whose
+// ns/op regressed by more than nsFactor (0 disables the timing gate;
+// CI uses 1.5).
+//
+// The timing gate is *shape-relative*: raw ns/op is machine-dependent
+// (the checked-in baselines come from the dev container, CI runs on
+// whatever runner it gets), so each workload's cur/base timing ratio
+// is normalized by the median ratio across all matched workloads,
+// clamped to at least 1 — a slower machine cancels out, while a
+// faster machine (or a PR that speeds most workloads up) never raises
+// the bar for the rest, so a pure improvement can never fail the
+// gate. The flip side is inherent to relative gating: a regression
+// broad enough to move the median partially hides itself; the
+// allocs/op gate and the checked-in snapshots are the absolute
+// record. Workloads present on only one side are ignored: the set may
+// grow over time.
+func CompareBenchSnapshots(base, cur BenchSnapshot, allocFactor, nsFactor float64) []string {
 	baseline := make(map[string]BenchResult, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.ID] = r
+	}
+	var ratios []float64
+	for _, r := range cur.Results {
+		if b, ok := baseline[r.ID]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, r.NsPerOp/b.NsPerOp)
+		}
+	}
+	machine := medianFloat(ratios) // the cross-machine speed factor
+	if machine < 1 {
+		machine = 1
 	}
 	var failures []string
 	for _, r := range cur.Results {
@@ -303,11 +328,31 @@ func CompareBenchSnapshots(base, cur BenchSnapshot, factor float64) []string {
 		if !ok {
 			continue
 		}
-		if float64(r.AllocsPerOp) > factor*float64(b.AllocsPerOp) {
+		if float64(r.AllocsPerOp) > allocFactor*float64(b.AllocsPerOp) {
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/op %d vs baseline %d (> %.1fx)",
-				r.ID, r.AllocsPerOp, b.AllocsPerOp, factor))
+				r.ID, r.AllocsPerOp, b.AllocsPerOp, allocFactor))
+		}
+		if nsFactor > 0 && b.NsPerOp > 0 && machine > 0 &&
+			r.NsPerOp/b.NsPerOp > nsFactor*machine {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op %.0f vs baseline %.0f — %.2fx vs the snapshot-median %.2fx (> %.1fx relative)",
+				r.ID, r.NsPerOp, b.NsPerOp, r.NsPerOp/b.NsPerOp, machine, nsFactor))
 		}
 	}
 	return failures
+}
+
+// medianFloat returns the median of xs (0 when empty).
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }

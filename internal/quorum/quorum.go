@@ -41,9 +41,13 @@ func FloorThird(nv int) int {
 // structures of every protocol, and in the paper's regime (n a few
 // dozen, thresholds at nv/3) most sets stay tiny: a sorted slice has
 // no per-entry boxing, hashes nothing, and membership is a short
-// binary search over one cache line or two. Sets that outgrow the
-// threshold promote to a map once and stay there.
-const smallSetMax = 16
+// binary search over a few cache lines. Sets that outgrow the
+// threshold promote to a map once and stay there. 32 covers every
+// full-membership witness set of the E1–E10 workloads (n ≤ 32 there;
+// promotion profiling showed the n=25/31 runs paying one map per
+// (key, node) at the old threshold of 16), while a set is still only
+// 280 bytes.
+const smallSetMax = 32
 
 // idSet is a set of node ids optimised for small cardinalities: a
 // sorted array inlined in the struct up to smallSetMax entries (so the
@@ -53,6 +57,16 @@ type idSet struct {
 	n     int // entries in small when big == nil
 	small [smallSetMax]ids.ID
 	big   map[ids.ID]struct{}
+}
+
+// reset empties the set in place for reuse: the inline array rewinds
+// and a promoted map keeps its buckets. A reset set is observationally
+// identical to a fresh one.
+func (s *idSet) reset() {
+	s.n = 0
+	if s.big != nil {
+		clear(s.big)
+	}
 }
 
 // add inserts id and reports whether it was newly added.
@@ -107,25 +121,53 @@ func (s *idSet) len() int {
 	return s.n
 }
 
+// IDSet is the exported form of the small-set representation for
+// callers that track plain sender sets (the nv bookkeeping of the
+// protocols): inline sorted array up to smallSetMax ids, map beyond.
+// The zero value is an empty set ready for use — embedding it in a
+// node costs no allocation at all for systems up to smallSetMax
+// participants, where a map would pay its header plus growth.
+type IDSet struct{ set idSet }
+
+// Add inserts id and reports whether it was newly added.
+func (s *IDSet) Add(id ids.ID) bool { return s.set.add(id) }
+
+// Has reports membership.
+func (s *IDSet) Has(id ids.ID) bool { return s.set.has(id) }
+
+// Len returns the cardinality.
+func (s *IDSet) Len() int { return s.set.len() }
+
 // Witnesses tracks, per message key, the cumulative set of distinct
 // senders observed across rounds — the Srikanth–Toueg counting
 // semantics used by Algorithm 1 and Algorithm 2. A sender is counted at
 // most once per key no matter how many rounds it repeats the message.
 type Witnesses[K comparable] struct {
 	byKey map[K]*idSet
+	free  []*idSet // reset sets awaiting reuse (filled by Reset)
 }
 
-// NewWitnesses returns an empty witness tracker.
+// NewWitnesses returns an empty witness tracker. The key map is
+// created lazily on first Add, so an idle tracker costs one struct.
 func NewWitnesses[K comparable]() *Witnesses[K] {
-	return &Witnesses[K]{byKey: make(map[K]*idSet)}
+	return &Witnesses[K]{}
 }
 
 // Add records that sender has vouched for key. It reports whether this
 // is the first time the sender vouched for the key.
 func (w *Witnesses[K]) Add(key K, sender ids.ID) bool {
+	if w.byKey == nil {
+		w.byKey = make(map[K]*idSet, 8)
+	}
 	set := w.byKey[key]
 	if set == nil {
-		set = &idSet{}
+		if n := len(w.free); n > 0 {
+			set = w.free[n-1]
+			w.free[n-1] = nil
+			w.free = w.free[:n-1]
+		} else {
+			set = &idSet{}
+		}
 		w.byKey[key] = set
 	}
 	return set.add(sender)
@@ -143,11 +185,31 @@ func (w *Witnesses[K]) Has(key K, sender ids.ID) bool {
 
 // Keys returns all keys with at least one witness, in unspecified order.
 func (w *Witnesses[K]) Keys() []K {
-	out := make([]K, 0, len(w.byKey))
+	return w.AppendKeys(nil)
+}
+
+// AppendKeys appends all keys with at least one witness to dst, in
+// unspecified order — the allocation-free form of Keys for callers
+// holding a reusable scratch slice.
+func (w *Witnesses[K]) AppendKeys(dst []K) []K {
 	for k := range w.byKey {
-		out = append(out, k)
+		dst = append(dst, k)
 	}
-	return out
+	return dst
+}
+
+// Len returns the number of keys with at least one witness.
+func (w *Witnesses[K]) Len() int { return len(w.byKey) }
+
+// Reset clears the tracker for reuse, keeping the key map's buckets and
+// recycling the per-key sender sets through an internal free list, so a
+// long-lived tracker that is periodically reset stops allocating.
+func (w *Witnesses[K]) Reset() {
+	for _, set := range w.byKey {
+		set.reset()
+		w.free = append(w.free, set)
+	}
+	clear(w.byKey)
 }
 
 // Tally counts, for a single round, how many distinct senders sent each
@@ -155,6 +217,7 @@ func (w *Witnesses[K]) Keys() []K {
 // algorithms (Alg. 3 and Alg. 5) count per-round, not cumulatively.
 type Tally[K comparable] struct {
 	byKey map[K]*idSet
+	free  []*idSet // reset sets awaiting reuse (filled by Reset)
 }
 
 // NewTally returns an empty per-round tally.
@@ -166,7 +229,13 @@ func NewTally[K comparable]() *Tally[K] {
 func (t *Tally[K]) Add(key K, sender ids.ID) {
 	set := t.byKey[key]
 	if set == nil {
-		set = &idSet{}
+		if n := len(t.free); n > 0 {
+			set = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+		} else {
+			set = &idSet{}
+		}
 		t.byKey[key] = set
 	}
 	set.add(sender)
@@ -234,7 +303,13 @@ func (t *Tally[K]) Keys() []K {
 }
 
 // Reset clears the tally for reuse in the next round, keeping the
-// outer map's buckets.
+// outer map's buckets and recycling the per-key sender sets through an
+// internal free list, so the per-round tallies of a long run stop
+// allocating after warm-up.
 func (t *Tally[K]) Reset() {
+	for _, set := range t.byKey {
+		set.reset()
+		t.free = append(t.free, set)
+	}
 	clear(t.byKey)
 }

@@ -3,9 +3,10 @@ package sim
 // Micro-benchmarks for the flat message plane's hot operations. The
 // whole-protocol benchmarks live at the repo root (bench_test.go) and
 // in cmd/idonly-bench -bench-json; these isolate the delivery path
-// itself: broadcast fan-out, inbox sorting and a full steady-state
-// round. After buffer warm-up the per-round path performs no
-// allocations beyond one sort-key string per Send.
+// itself: broadcast fan-out (typed fast path and fmt fallback), inbox
+// sorting and a full steady-state round. After warm-up — arena, intern
+// table and inboxes at their steady sizes — the per-round path
+// performs zero allocations.
 
 import (
 	"fmt"
@@ -15,8 +16,24 @@ import (
 )
 
 // benchPayload mirrors the protocols' payload shapes: a small
-// comparable struct.
+// comparable struct, registered on the typed fast path like every
+// protocol message (test-local ordinal, outside the package ranges).
 type benchPayload struct {
+	Kind  int
+	Value float64
+}
+
+func (p benchPayload) AppendSortKey(dst []byte) []byte {
+	dst = AppendInt(append(dst, '{'), int64(p.Kind))
+	dst = AppendFloat(append(dst, ' '), p.Value)
+	return append(dst, '}')
+}
+
+func (benchPayload) SortKeyOrdinal() uint32 { return 0x7f01 }
+
+// benchFallbackPayload is the same shape without SortKeyer: it rides
+// the fmt.Append + interface-identity fallback path.
+type benchFallbackPayload struct {
 	Kind  int
 	Value float64
 }
@@ -43,56 +60,79 @@ func newBenchRunner(n int) *Runner {
 }
 
 // BenchmarkDeliverBroadcast measures one broadcast Send fanned out to n
-// recipients, dedup and sort-key construction included. The inboxes
-// and duplicate filters are drained every few deliveries with the
-// timer stopped — a round never carries unbounded backlog, and letting
-// it pile up across b.N iterations would measure map growth instead of
-// the steady-state fan-out.
+// recipients, dedup and sort-key construction included — on the typed
+// fast path and on the fmt fallback. The inboxes and duplicate filters
+// are drained every few deliveries with the timer stopped — a round
+// never carries unbounded backlog, and letting it pile up across b.N
+// iterations would measure map growth instead of the steady-state
+// fan-out.
 func BenchmarkDeliverBroadcast(b *testing.B) {
 	const batch = 16 // distinct broadcasts per sender per round; generous vs any protocol here
-	for _, n := range []int{8, 32, 128} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			r := newBenchRunner(n)
-			r.StepRound() // warm the pooled buffers
-			from := r.nodes[0].id
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i%batch == 0 && i > 0 {
-					b.StopTimer()
-					r.StepRound() // flip + clear both buffer generations
-					r.StepRound()
-					b.StartTimer()
+	modes := []struct {
+		name string
+		mk   func(i int) any
+	}{
+		{"typed", func(i int) any { return benchPayload{Kind: i % batch, Value: 1} }},
+		{"fallback", func(i int) any { return benchFallbackPayload{Kind: i % batch, Value: 1} }},
+	}
+	for _, mode := range modes {
+		// Box the payloads outside the timed loop: a protocol's Send
+		// values are boxed by its own Step, so the fan-out itself is
+		// what this benchmark isolates (the typed path is zero-alloc
+		// once the arena, intern table and inboxes are warm).
+		payloads := make([]Send, batch)
+		for i := range payloads {
+			payloads[i] = BroadcastPayload(mode.mk(i))
+		}
+		for _, n := range []int{8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				r := newBenchRunner(n)
+				r.StepRound() // warm the pooled buffers
+				from := r.nodes[0].id
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%batch == 0 && i > 0 {
+						b.StopTimer()
+						r.StepRound() // flip + clear both buffer generations
+						r.StepRound()
+						b.StartTimer()
+					}
+					// A distinct payload per iteration within a batch so
+					// the dedup filter admits every delivery (the
+					// steady-state path).
+					r.deliver(from, payloads[i%batch])
 				}
-				// A fresh payload per iteration so the dedup filter
-				// admits every delivery (the steady-state path).
-				r.deliver(from, BroadcastPayload(benchPayload{Kind: i % batch, Value: 1}))
-			}
-		})
+			})
+		}
 	}
 }
 
 // BenchmarkSortInbox measures sorting a pooled inbox whose sort keys
-// were computed at delivery time. The input is re-scrambled from a
-// template each iteration; the baseline comparator re-formatted every
-// payload O(m log m) times, this one formats zero.
+// were computed at delivery time into the key arena. The input is
+// re-scrambled from a template each iteration; the baseline comparator
+// re-formatted every payload O(m log m) times, this one formats zero
+// and compares arena byte views.
 func BenchmarkSortInbox(b *testing.B) {
 	for _, m := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			senders := ids.Sparse(ids.NewRand(7), m/2)
 			tmpl := inboxBuf{}
+			var arena []byte
 			for i := 0; i < m; i++ {
 				p := benchPayload{Kind: i % 3, Value: float64(m - i)}
 				tmpl.msgs = append(tmpl.msgs, Message{From: senders[i%len(senders)], Payload: p})
-				tmpl.keys = append(tmpl.keys, fmt.Sprint(p))
+				start := len(arena)
+				arena = fmt.Append(arena, p)
+				tmpl.keys = append(tmpl.keys, keyRef{off: uint32(start), n: uint32(len(arena) - start)})
 			}
-			buf := inboxBuf{msgs: make([]Message, m), keys: make([]string, m)}
+			buf := inboxBuf{msgs: make([]Message, m), keys: make([]keyRef, m)}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(buf.msgs, tmpl.msgs)
 				copy(buf.keys, tmpl.keys)
-				buf.sort()
+				buf.sort(arena)
 			}
 		})
 	}

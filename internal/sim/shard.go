@@ -70,7 +70,7 @@ func (r *Runner) shardSteps(round int) []stepOut {
 				func() {
 					defer func() { panics[i] = recover() }()
 					n := &r.nodes[i]
-					n.cur.sort()
+					n.cur.sort(r.curArena)
 					if n.faulty {
 						return
 					}

@@ -23,12 +23,22 @@
 // and the per-recipient duplicate filters are pooled and reused across
 // rounds; each message's deterministic sort key is computed once per
 // Send at delivery time (shared by all recipients of a broadcast)
-// instead of once per comparison inside the inbox sort. The schedule —
-// traces, metrics, decided rounds — is bit-identical to the original
-// map-based delivery path; golden_test.go pins it per protocol.
+// instead of once per comparison inside the inbox sort.
+//
+// The delivery path is reflection-free for payload types implementing
+// SortKeyer (see sortkey.go): key bytes are appended to a pooled,
+// double-buffered per-runner arena (inbox key tables are offset/length
+// views into it), and the duplicate filter is keyed by (sender, type
+// ordinal, interned key bytes) instead of hashing boxed interface
+// values. Payloads that do not implement SortKeyer fall back to
+// fmt.Append and interface-identity deduplication — the original
+// semantics, byte for byte. The schedule — traces, metrics, decided
+// rounds — is bit-identical either way; golden_test.go pins it per
+// protocol and fallback_test.go pins the unregistered path.
 package sim
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -73,6 +83,11 @@ func Unicast(to ids.ID, p any) Send { return Send{To: to, Payload: p} }
 // The inbox slice is owned by the runner and reused across rounds:
 // Step must not retain it (or subslices of it) past the call. Payload
 // values may be kept — they are immutable by convention.
+//
+// Symmetrically, the returned send slice is owned by the process: the
+// runner consumes it before the process's next Step, so a process may
+// back it with scratch it reuses across rounds (every protocol in this
+// repository does).
 type Process interface {
 	ID() ids.ID
 	Step(round int, inbox []Message) []Send
@@ -161,17 +176,25 @@ type node struct {
 	faulty bool
 	cur    inboxBuf
 	nxt    inboxBuf
-	dedup  map[dedupKey]struct{} // within-round duplicate filter, cleared (not reallocated) each round
 }
 
-// inboxBuf couples a pooled inbox with the per-message sort keys
+// keyRef is one inbox entry's sort key: an offset/length view into the
+// runner's key arena for the round the message was delivered in.
+type keyRef struct {
+	off uint32
+	n   uint32
+}
+
+// inboxBuf couples a pooled inbox with the per-message sort-key views
 // computed at delivery time. It sorts both slices in tandem with the
 // same comparator the original delivery path used (sender id, then the
 // stable payload formatting), so the resulting order is identical —
-// without a single fmt call inside the sort.
+// without a single fmt call inside the sort. arena is set for the
+// duration of a sort only; the key bytes live on the runner.
 type inboxBuf struct {
-	msgs []Message
-	keys []string
+	msgs  []Message
+	keys  []keyRef
+	arena []byte
 }
 
 func (b *inboxBuf) Len() int { return len(b.msgs) }
@@ -179,17 +202,23 @@ func (b *inboxBuf) Less(i, j int) bool {
 	if b.msgs[i].From != b.msgs[j].From {
 		return b.msgs[i].From < b.msgs[j].From
 	}
-	return b.keys[i] < b.keys[j]
+	ki, kj := b.keys[i], b.keys[j]
+	return bytes.Compare(b.arena[ki.off:ki.off+ki.n], b.arena[kj.off:kj.off+kj.n]) < 0
 }
 func (b *inboxBuf) Swap(i, j int) {
 	b.msgs[i], b.msgs[j] = b.msgs[j], b.msgs[i]
 	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
 }
 
-// sort orders the inbox deterministically. Protocol logic must not
-// depend on inbox order; the sort exists so traces and any
-// order-dependent tie-breaks are reproducible run to run.
-func (b *inboxBuf) sort() { sort.Sort(b) }
+// sort orders the inbox deterministically against the arena its keys
+// point into. Protocol logic must not depend on inbox order; the sort
+// exists so traces and any order-dependent tie-breaks are reproducible
+// run to run.
+func (b *inboxBuf) sort(arena []byte) {
+	b.arena = arena
+	sort.Sort(b)
+	b.arena = nil
+}
 
 // reset empties the buffer for reuse, keeping the backing arrays.
 func (b *inboxBuf) reset() {
@@ -210,24 +239,56 @@ type Runner struct {
 	stepping  bool     // a round is executing; membership is frozen
 	leavers   []ids.ID // per-round scratch, reused
 
+	// Double-buffered sort-key arenas: deliveries append key bytes to
+	// nxtArena; at the round flip it becomes curArena, which the inbox
+	// sorts (and their keyRef views) read. Both retain their backing
+	// arrays for the whole run.
+	curArena []byte
+	nxtArena []byte
+
+	// intern maps sort-key bytes to their one canonical string, so the
+	// duplicate-filter key for a registered payload allocates at most
+	// once per distinct key per run — and map probes against it
+	// short-circuit on pointer equality.
+	intern map[string]string
+
+	// dedup is the within-round duplicate filter of every recipient,
+	// cleared (not reallocated) each round; see dedupKey.
+	dedup map[dedupKey]struct{}
+
 	// Pooled shard buffers (Workers > 1); see shard.go.
 	pre    []stepOut
 	panics []any
 }
 
+// dedupKey is the per-recipient duplicate-filter identity of one Send.
+// All recipients share one runner-level filter map (one allocation and
+// one per-round clear instead of n), so the key leads with the
+// recipient id. Registered payloads use (from, ord, interned key
+// bytes) with payload nil; unregistered payloads use (from, boxed
+// payload) with ord 0 — the original interface-equality semantics. The
+// two populations can never collide: ord 0 is reserved for the
+// fallback.
 type dedupKey struct {
+	to      ids.ID
 	from    ids.ID
+	ord     uint32
+	key     string
 	payload any
 }
 
 // sendCtx carries the per-Send delivery state shared by every recipient
 // of a broadcast: the duplicate-filter key is constructed once, and the
-// sort key (the old comparator's fmt.Sprint) is computed at most once —
-// lazily, so a Send dropped everywhere as a duplicate never formats.
+// sort-key bytes land in the arena at most once — lazily on the
+// fallback path, so an unregistered Send dropped everywhere as a
+// duplicate never formats.
 type sendCtx struct {
-	key     dedupKey
-	sortKey string
-	keyed   bool
+	key      dedupKey
+	sk       SortKeyer // non-nil: append key bytes without fmt
+	off      uint32    // arena view of the key bytes (valid when keyed)
+	n        uint32
+	keyed    bool
+	accepted bool // at least one recipient took the message
 }
 
 type spawn struct {
@@ -244,11 +305,14 @@ func NewRunner(cfg Config, procs []Process, faulty []ids.ID, adv Adversary) *Run
 		cfg.MaxRounds = DefaultMaxRounds
 	}
 	r := &Runner{
-		cfg:    cfg,
-		adv:    adv,
-		nodes:  make([]node, 0, len(procs)+len(faulty)),
-		slot:   make(map[ids.ID]int, len(procs)+len(faulty)),
-		spawns: make(map[int][]spawn),
+		cfg:      cfg,
+		adv:      adv,
+		nodes:    make([]node, 0, len(procs)+len(faulty)),
+		slot:     make(map[ids.ID]int, len(procs)+len(faulty)),
+		spawns:   make(map[int][]spawn),
+		curArena: make([]byte, 0, 1024),
+		nxtArena: make([]byte, 0, 1024),
+		intern:   make(map[string]string, 64),
 	}
 	r.metrics.DecidedRound = make(map[ids.ID]int)
 	for _, p := range procs {
@@ -273,21 +337,18 @@ func NewRunner(cfg Config, procs []Process, faulty []ids.ID, adv Adversary) *Run
 	}
 	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].id < r.nodes[j].id })
 	r.reslot(0)
-	for i := range r.nodes {
-		r.presize(&r.nodes[i])
-	}
+	r.presizeAll()
 	r.undecided = len(procs)
 	r.metrics.PeakNodes = len(r.nodes)
 	r.metrics.MinNodes = len(r.nodes)
 	return r
 }
 
-// presize seeds a node's pooled delivery state for the steady-state
-// traffic shape — about one broadcast per peer per round — so short
-// runs do not spend their few rounds growing buffers one doubling at a
-// time. Capped: with very large systems the first rounds grow the rare
-// hot inboxes instead of committing n² memory up front.
-func (r *Runner) presize(n *node) {
+// presizeCap is the per-inbox capacity seeded for the steady-state
+// traffic shape — about one broadcast per peer per round. Capped: with
+// very large systems the first rounds grow the rare hot inboxes
+// instead of committing n² memory up front.
+func (r *Runner) presizeCap() int {
 	c := len(r.nodes)
 	if c > 64 {
 		c = 64
@@ -295,11 +356,39 @@ func (r *Runner) presize(n *node) {
 	if c < 8 {
 		c = 8
 	}
+	return c
+}
+
+// presizeAll seeds every node's pooled delivery state at construction.
+// The inbox buffers of all nodes come from two shared slabs, handed out
+// as capacity-limited views — two allocations instead of four per node
+// — so short runs do not spend their few rounds growing buffers one
+// doubling at a time. A view that outgrows its capacity reallocates
+// away from the slab exactly as an individually allocated buffer would
+// (InboxGrows counts it either way).
+func (r *Runner) presizeAll() {
+	c := r.presizeCap()
+	msgSlab := make([]Message, 2*c*len(r.nodes))
+	keySlab := make([]keyRef, 2*c*len(r.nodes))
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		o := 2 * c * i
+		n.cur.msgs = msgSlab[o : o : o+c]
+		n.cur.keys = keySlab[o : o : o+c]
+		n.nxt.msgs = msgSlab[o+c : o+c : o+2*c]
+		n.nxt.keys = keySlab[o+c : o+c : o+2*c]
+	}
+	r.dedup = make(map[dedupKey]struct{}, c*len(r.nodes))
+}
+
+// presize seeds one joining node's pooled delivery state (the
+// steady-state membership is slab-allocated by presizeAll).
+func (r *Runner) presize(n *node) {
+	c := r.presizeCap()
 	n.cur.msgs = make([]Message, 0, c)
-	n.cur.keys = make([]string, 0, c)
+	n.cur.keys = make([]keyRef, 0, c)
 	n.nxt.msgs = make([]Message, 0, c)
-	n.nxt.keys = make([]string, 0, c)
-	n.dedup = make(map[dedupKey]struct{}, c)
+	n.nxt.keys = make([]keyRef, 0, c)
 }
 
 // reslot rebuilds the id -> index map for nodes[from:] after the table
@@ -411,14 +500,18 @@ func (r *Runner) StepRound() {
 	// Flip the delivery buffers: last round's deliveries become this
 	// round's inboxes and the buffers consumed last round are emptied —
 	// backing arrays intact — to receive this round's traffic. The
-	// duplicate filters are cleared in place for the same reason.
+	// duplicate filters are cleared in place for the same reason, and
+	// the key arenas flip in lockstep so every keyRef in a cur inbox
+	// points into curArena.
+	r.curArena, r.nxtArena = r.nxtArena, r.curArena
+	r.nxtArena = r.nxtArena[:0]
+	if len(r.dedup) > 0 {
+		clear(r.dedup)
+	}
 	for i := range r.nodes {
 		n := &r.nodes[i]
 		n.cur, n.nxt = n.nxt, n.cur
 		n.nxt.reset()
-		if len(n.dedup) > 0 {
-			clear(n.dedup)
-		}
 	}
 	r.metrics.ByRound = append(r.metrics.ByRound, 0)
 
@@ -438,7 +531,7 @@ func (r *Runner) StepRound() {
 	for i := 0; i < nn; i++ {
 		n := &r.nodes[i]
 		if pre == nil {
-			n.cur.sort()
+			n.cur.sort(r.curArena)
 		}
 		inbox := n.cur.msgs
 		if n.faulty {
@@ -497,41 +590,76 @@ func (r *Runner) markDecided(id ids.ID, round int) {
 // and discarding within-round duplicates per recipient. The duplicate
 // key and the sort key are constructed once per Send and shared across
 // the whole broadcast fan-out.
+//
+// Registered payloads (SortKeyer with a nonzero ordinal) render their
+// key bytes into the arena up front — the duplicate filter needs them —
+// and intern them for the filter key. Everything else keeps the
+// original semantics: interface-identity dedup, key bytes rendered
+// lazily on first acceptance.
 func (r *Runner) deliver(from ids.ID, s Send) {
-	c := sendCtx{key: dedupKey{from: from, payload: s.Payload}}
+	var c sendCtx
+	if sk, ok := s.Payload.(SortKeyer); ok {
+		c.sk = sk
+		if ord := sk.SortKeyOrdinal(); ord != 0 {
+			start := len(r.nxtArena)
+			r.nxtArena = sk.AppendSortKey(r.nxtArena)
+			kb := r.nxtArena[start:]
+			ks, seen := r.intern[string(kb)] // no allocation: probe-only conversion
+			if !seen {
+				ks = string(kb)
+				r.intern[ks] = ks
+			}
+			c.key = dedupKey{from: from, ord: ord, key: ks}
+			c.off, c.n, c.keyed = uint32(start), uint32(len(kb)), true
+		} else {
+			c.key = dedupKey{from: from, payload: s.Payload}
+		}
+	} else {
+		c.key = dedupKey{from: from, payload: s.Payload}
+	}
 	if s.To == Broadcast {
 		for i := range r.nodes {
 			r.deliverOne(&r.nodes[i], from, s.Payload, &c)
 		}
-		return
-	}
-	if j, ok := r.slot[s.To]; ok {
+	} else if j, ok := r.slot[s.To]; ok {
 		r.deliverOne(&r.nodes[j], from, s.Payload, &c)
 	}
 	// Destination absent (left or never joined): the Send vanishes.
+	if c.keyed && !c.accepted && uint32(len(r.nxtArena)) == c.off+c.n {
+		// Dropped everywhere (duplicates, or an absent unicast target):
+		// nothing references the key bytes, so release them — a replay
+		// flood must not grow the arena.
+		r.nxtArena = r.nxtArena[:c.off]
+	}
 }
 
 func (r *Runner) deliverOne(n *node, from ids.ID, payload any, c *sendCtx) {
-	if n.dedup == nil {
-		n.dedup = make(map[dedupKey]struct{}, 8)
-	}
-	if _, dup := n.dedup[c.key]; dup {
+	key := c.key
+	key.to = n.id
+	if _, dup := r.dedup[key]; dup {
 		r.metrics.MessagesDropped++
 		return
 	}
-	n.dedup[c.key] = struct{}{}
+	r.dedup[key] = struct{}{}
 	if !c.keyed {
 		// The deterministic sort key: the same stable payload formatting
-		// the original comparator evaluated per comparison, now at most
-		// once per Send.
-		c.sortKey = fmt.Sprint(payload)
-		c.keyed = true
+		// the original comparator evaluated per comparison, at most once
+		// per Send — via the payload's own appender when it has one,
+		// fmt's %v otherwise.
+		start := len(r.nxtArena)
+		if c.sk != nil {
+			r.nxtArena = c.sk.AppendSortKey(r.nxtArena)
+		} else {
+			r.nxtArena = fmt.Append(r.nxtArena, payload)
+		}
+		c.off, c.n, c.keyed = uint32(start), uint32(len(r.nxtArena)-start), true
 	}
 	if len(n.nxt.msgs) == cap(n.nxt.msgs) {
 		r.metrics.InboxGrows++
 	}
 	n.nxt.msgs = append(n.nxt.msgs, Message{From: from, Payload: payload})
-	n.nxt.keys = append(n.nxt.keys, c.sortKey)
+	n.nxt.keys = append(n.nxt.keys, keyRef{off: c.off, n: c.n})
+	c.accepted = true
 	r.metrics.MessagesDelivered++
 	r.metrics.ByRound[len(r.metrics.ByRound)-1]++
 }

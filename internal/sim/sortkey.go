@@ -1,0 +1,97 @@
+// Typed sort keys: the reflection-free contract of the delivery path.
+//
+// Every message delivered by the runner needs a deterministic sort key
+// (the inbox order tie-break) and a duplicate-filter identity. The
+// original path derived both from the boxed payload: fmt.Sprint for the
+// key, interface equality for the filter — reflection on every Send.
+// Payload types that implement SortKeyer instead render their own key
+// bytes into a pooled arena and carry a type ordinal, so the hot loop
+// formats nothing and hashes no interface values.
+//
+// The contract is strict because the schedule is golden-pinned:
+//
+//   - AppendSortKey must produce bytes identical to what
+//     fmt.Sprint(payload) renders (the %v form), so the inbox order —
+//     and with it every trace digest and canonical report — is
+//     unchanged. internal/sortkeys enforces this differentially and
+//     under fuzzing for every registered type.
+//   - Within one type, the %v rendering must agree with Go equality in
+//     both directions: distinct values render distinct bytes (the
+//     repository's message structs — ints, ids, bools, strings in
+//     last-position-unambiguous layouts — have this), and equal values
+//     render equal bytes. The duplicate filter relies on it: two
+//     payloads of the same type are the same message exactly when
+//     their bytes match. Values where rendering and equality disagree
+//     must not be carried by registered types: NaN (renders equal,
+//     compares unequal) and negative zero (compares equal to +0,
+//     renders "-0") — no protocol or adversary here produces either.
+//   - SortKeyOrdinal must be unique per concrete type (ranges below),
+//     because the filter key is (sender, ordinal, key bytes): two
+//     types whose renderings collide stay distinct messages. Returning
+//     0 opts out of the fast filter for a specific value — wrapper
+//     types (dynamic.SessMsg) do this when their inner payload is
+//     unregistered — while AppendSortKey remains usable for the sort
+//     key.
+//
+// Unregistered payloads keep working: the runner falls back to
+// fmt.Append for their sort key and to interface identity for their
+// duplicate filter, exactly the original semantics.
+package sim
+
+import "strconv"
+
+// SortKeyer is implemented by payload types on the fast delivery path.
+type SortKeyer interface {
+	// AppendSortKey appends the payload's deterministic sort key to dst
+	// and returns the extended slice. The bytes must equal
+	// fmt.Sprint(payload) exactly.
+	AppendSortKey(dst []byte) []byte
+
+	// SortKeyOrdinal returns the type's unique ordinal (see the Ord
+	// range constants), or 0 to fall back to interface-identity
+	// deduplication for this value. Wrapper types compose:
+	// outer<<16 | inner.
+	SortKeyOrdinal() uint32
+}
+
+// Ordinal ranges. Each package owning registered payload types draws
+// its ordinals from its own range; internal/sortkeys tests that no two
+// concrete types collide. 0 is reserved for "unregistered".
+const (
+	OrdBaseRotor      uint32 = 0x0100 // internal/core/rotor
+	OrdBaseRBroadcast uint32 = 0x0200 // internal/core/rbroadcast
+	OrdBaseConsensus  uint32 = 0x0300 // internal/core/consensus
+	OrdBaseApprox     uint32 = 0x0400 // internal/core/approx
+	OrdBaseParallel   uint32 = 0x0500 // internal/core/parallel
+	OrdBaseDynamic    uint32 = 0x0600 // internal/core/dynamic
+	OrdBaseBaseline   uint32 = 0x0700 // internal/baseline
+	OrdBaseAsync      uint32 = 0x0800 // internal/async
+)
+
+// The Append helpers below centralize how fmt's %v renders the field
+// kinds that appear in message payloads, so the per-type AppendSortKey
+// implementations cannot drift from the fmt.Sprint contract one kind at
+// a time. Strings append verbatim (no quoting in %v); structs are
+// rendered by the caller as '{' + space-joined fields + '}'.
+
+// AppendUint renders an unsigned integer (ids.ID, parallel.PairID, …)
+// the way %v does.
+func AppendUint(dst []byte, v uint64) []byte {
+	return strconv.AppendUint(dst, v, 10)
+}
+
+// AppendInt renders a signed integer the way %v does.
+func AppendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// AppendFloat renders a float64 the way %v does: shortest
+// round-tripping %g form.
+func AppendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// AppendBool renders a bool the way %v does.
+func AppendBool(dst []byte, v bool) []byte {
+	return strconv.AppendBool(dst, v)
+}

@@ -80,6 +80,12 @@ type Store struct {
 	imu   sync.RWMutex
 	index map[string]recordLoc
 
+	// readBufs pools Get's payload buffers: json.Unmarshal never
+	// retains its input, so the buffer is safe to recycle the moment a
+	// Get returns — warm CachedRunAll sweeps stop allocating one fresh
+	// buffer per read.
+	readBufs sync.Pool
+
 	gets, hits, puts, dups atomic.Int64
 	truncated              int64
 	closed                 bool
@@ -225,7 +231,13 @@ func (s *Store) Get(digest string) (engine.Result, bool, error) {
 	if !ok {
 		return engine.Result{}, false, nil
 	}
-	payload := make([]byte, loc.n)
+	var payload []byte
+	if b, _ := s.readBufs.Get().(*[]byte); b != nil && cap(*b) >= loc.n {
+		payload = (*b)[:loc.n]
+	} else {
+		payload = make([]byte, loc.n)
+	}
+	defer s.readBufs.Put(&payload)
 	if _, err := s.f.ReadAt(payload, loc.off); err != nil {
 		return engine.Result{}, false, fmt.Errorf("store: reading %s: %w", digest[:12], err)
 	}
