@@ -1,6 +1,8 @@
 package idonly
 
 import (
+	"io"
+
 	"idonly/internal/adversary"
 	"idonly/internal/async"
 	"idonly/internal/core/approx"
@@ -11,6 +13,7 @@ import (
 	"idonly/internal/core/rotor"
 	"idonly/internal/engine"
 	"idonly/internal/ids"
+	"idonly/internal/obs"
 	"idonly/internal/sim"
 	"idonly/internal/store"
 )
@@ -283,3 +286,34 @@ func ScenarioDigest(s Scenario) string { return s.Digest() }
 func CachedRunAll(st *Store, specs []Scenario, opts EngineOptions) (*Report, CacheRunStats, error) {
 	return store.CachedRunAll(st, specs, opts)
 }
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+// MetricsRegistry is the dependency-free metrics plane: atomic
+// counters, gauges and fixed-bucket latency histograms, rendered in
+// Prometheus text exposition format via WritePrometheus.
+// EngineHooks carries a sweep's instrumentation in EngineOptions.Hooks
+// — its zero value is fully disabled and adds no measurable overhead —
+// and SweepSpan is the per-scenario trace record an EngineHooks.Span
+// sink receives (one per grid cell: digest, worker slot, phase
+// timings, cache provenance).
+type (
+	MetricsRegistry = obs.Registry
+	EngineHooks     = engine.Hooks
+	EngineObs       = engine.Obs
+	SweepSpan       = engine.Span
+)
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEngineObs registers the engine's metric families
+// (idonly_engine_*) on reg; registration is idempotent.
+func NewEngineObs(reg *MetricsRegistry) *EngineObs { return engine.NewObs(reg) }
+
+// ReadSweepSpans parses an NDJSON trace stream — an idonly-bench
+// -trace-out file or a /v1/sweep?trace=1 response — skipping non-span
+// lines.
+func ReadSweepSpans(r io.Reader) ([]SweepSpan, error) { return engine.ReadSpans(r) }

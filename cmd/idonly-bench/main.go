@@ -30,6 +30,11 @@
 //	                                      # simulator rounds, and idonly-serve
 //	                                      # pointed at the same directory serves
 //	                                      # the identical report over HTTP
+//	idonly-bench -grid small -trace-out trace.ndjson
+//	                                      # stream one span record per scenario
+//	                                      # (digest, phase timings, worker) to a
+//	                                      # file; summarize with
+//	                                      # `idonly-trace -summarize trace.ndjson`
 //	idonly-bench -bench-json                 # measure the E1–E10 workloads and
 //	                                         # emit a BENCH_*.json perf snapshot
 //	                                         # (ns/op, allocs/op, msgs/sec)
@@ -42,25 +47,62 @@
 //	                                         # profile any mode (experiments,
 //	                                         # grids, snapshots); inspect with
 //	                                         # `go tool pprof`
+//
+// Profiles and the trace sink share one run-once cleanup path that also
+// fires on SIGINT/SIGTERM, so an interrupted grid still leaves valid
+// pprof and trace files behind.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"idonly/internal/engine"
 	"idonly/internal/experiments"
+	"idonly/internal/obs"
 	"idonly/internal/store"
 )
 
-// main defers the profile writers inside realMain so they flush on
-// every exit path, including failed gate comparisons.
+// cleanups is the shared teardown path for everything that must flush
+// before the process ends: CPU/alloc profiles and the trace sink. run
+// executes the registered functions exactly once, last-added first, so
+// both a normal return and a mid-grid SIGINT leave valid files.
+type cleanups struct {
+	mu   sync.Mutex
+	done bool
+	fns  []func()
+}
+
+func (c *cleanups) add(fn func()) {
+	c.mu.Lock()
+	c.fns = append(c.fns, fn)
+	c.mu.Unlock()
+}
+
+func (c *cleanups) run() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.done = true
+	for i := len(c.fns) - 1; i >= 0; i-- {
+		c.fns[i]()
+	}
+}
+
+// main defers the cleanup path inside realMain so profiles and traces
+// flush on every exit path, including failed gate comparisons.
 func main() {
 	os.Exit(realMain())
 }
@@ -75,42 +117,82 @@ func realMain() int {
 	churn := flag.String("churn", "", "with -grid: replace the churn axis with one spec (e.g. j2,l1,fj1,fl1; 'none' = static only)")
 	storeDir := flag.String("store", "", "with -grid: serve cached results from (and persist fresh results to) this content-addressed store directory")
 	canonical := flag.Bool("canonical", false, "with -grid: emit the canonical (timing-free, byte-stable) report JSON")
+	traceOut := flag.String("trace-out", "", "with -grid: write one NDJSON span record per scenario to this file ('-' = stderr)")
 	benchJSON := flag.Bool("bench-json", false, "measure the experiment workloads and emit a perf snapshot as JSON")
 	benchOut := flag.String("bench-out", "", "with -bench-json: write the snapshot to this file instead of stdout")
 	benchLabel := flag.String("bench-label", "", "with -bench-json: label recorded in the snapshot")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare against this snapshot file, exit 1 on a >2x allocs/op or >1.5x ns/op regression")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocs since start) to this file at exit")
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logFlags.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	cl := &cleanups{}
+	defer cl.run()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		slog.Warn("interrupted; flushing profiles and trace", "signal", s.String())
+		cl.run()
+		os.Exit(130)
+	}()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			slog.Error("creating cpu profile", "err", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			slog.Error("starting cpu profile", "err", err)
+			return 1
 		}
-		defer func() {
+		cl.add(func() {
 			pprof.StopCPUProfile()
 			f.Close()
-		}()
+		})
 	}
 	if *memProfile != "" {
-		defer func() {
+		cl.add(func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				slog.Error("creating alloc profile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle live objects so alloc_space/objects are complete
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				slog.Error("writing alloc profile", "err", err)
 			}
-		}()
+		})
 	}
+
+	var hooks engine.Hooks
+	if *traceOut != "" {
+		w := io.Writer(os.Stderr)
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				slog.Error("creating trace file", "err", err)
+				return 1
+			}
+			cl.add(func() { f.Close() })
+			w = f
+		}
+		tw := obs.NewTraceWriter(w)
+		cl.add(func() {
+			if err := tw.Flush(); err != nil {
+				slog.Error("flushing trace", "err", err)
+			}
+		})
+		hooks.Span = func(sp engine.Span) { tw.Write(sp) }
+	}
+
 	// Only an explicitly chosen -workers triggers the sequential
 	// baseline + speedup comparison: it doubles the work, so the
 	// default run sweeps the grid exactly once.
@@ -123,14 +205,14 @@ func realMain() int {
 
 	if *benchJSON {
 		if err := runBenchJSON(*run, *benchLabel, *benchOut, *benchBaseline); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			slog.Error("bench snapshot failed", "err", err)
 			return 1
 		}
 		return 0
 	}
 	if *grid != "" {
-		if err := runGrid(*grid, *churn, *storeDir, *workers, *simWorkers, *jsonOut, *canonical, compare); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if err := runGrid(*grid, *churn, *storeDir, *workers, *simWorkers, *jsonOut, *canonical, compare, hooks); err != nil {
+			slog.Error("grid sweep failed", "err", err)
 			return 2
 		}
 		return 0
@@ -146,7 +228,9 @@ func realMain() int {
 // that the canonical reports are byte-identical (the engine's
 // determinism contract) and prints the measured speedup; with -json
 // the speedup line goes to stderr so stdout stays machine-readable.
-func runGrid(name, churn, storeDir string, workers, simWorkers int, jsonOut, canonical, compare bool) error {
+// hooks (the -trace-out sink) flows into the sweep — cached and
+// computed scenarios alike emit span records.
+func runGrid(name, churn, storeDir string, workers, simWorkers int, jsonOut, canonical, compare bool, hooks engine.Hooks) error {
 	g, err := engine.PresetGrid(name)
 	if err != nil {
 		return err
@@ -174,14 +258,18 @@ func runGrid(name, churn, storeDir string, workers, simWorkers int, jsonOut, can
 		}
 		defer st.Close()
 		var stats store.RunStats
-		rep, stats, err = store.CachedRunAll(st, specs, engine.Options{Workers: workers, Grid: name})
+		rep, stats, err = store.CachedRunAll(st, specs, engine.Options{Workers: workers, Grid: name, Hooks: hooks})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "store %s: hits=%d/%d misses=%d (%d results on disk)\n",
-			storeDir, stats.Hits, len(specs), stats.Misses, st.Len())
+		slog.Info("store sweep",
+			"store", storeDir,
+			"hits", stats.Hits,
+			"misses", stats.Misses,
+			"scenarios", len(specs),
+			"records", st.Len())
 	} else {
-		rep = engine.RunAll(specs, engine.Options{Workers: workers, Grid: name})
+		rep = engine.RunAll(specs, engine.Options{Workers: workers, Grid: name, Hooks: hooks})
 	}
 
 	if canonical {
@@ -302,7 +390,7 @@ func runExperiments(run string, seed uint64, workers int) int {
 		fmt.Printf("[%s completed in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; available:\n", run)
+		slog.Error("no experiment matched", "run", run)
 		for _, exp := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", exp.ID, exp.Name)
 		}

@@ -8,12 +8,15 @@
 //
 //	idonly-serve -store ./results                 # listen on :8080
 //	idonly-serve -addr :9000 -store ./results -workers 8 -max-inflight 4
+//	idonly-serve -store ./results -pprof          # also mount /debug/pprof
 //
 //	curl -X POST localhost:8080/v1/sweep -d '{"preset":"small"}'
 //	curl -X POST 'localhost:8080/v1/sweep?format=canonical' -d '{"preset":"small"}'
+//	curl -X POST 'localhost:8080/v1/sweep?trace=1' -d '{"preset":"small"}'
 //	curl localhost:8080/v1/result/<scenario-digest>
 //	curl localhost:8080/v1/healthz
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics                   # Prometheus text exposition
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight sweeps finish
 // (up to -drain), new connections are refused, and the store is closed
@@ -25,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"idonly/internal/obs"
 	"idonly/internal/service"
 	"idonly/internal/store"
 )
@@ -45,22 +50,28 @@ func main() {
 		maxGrid     = flag.Int("max-scenarios", 20000, "largest grid one request may expand to")
 		maxN        = flag.Int("max-n", 256, "largest per-scenario system size a request may name")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	)
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*addr, *storeDir, *workers, *maxInFlight, *maxGrid, *maxN, *drain); err != nil {
+	if _, err := logFlags.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *storeDir, *workers, *maxInFlight, *maxGrid, *maxN, *drain, *pprofOn); err != nil {
+		slog.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain time.Duration) error {
+func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain time.Duration, pprofOn bool) error {
 	st, err := store.Open(storeDir)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
 	if tr := st.Stats().Truncated; tr > 0 {
-		fmt.Fprintf(os.Stderr, "idonly-serve: recovered store %s (truncated %d corrupt tail bytes)\n", storeDir, tr)
+		slog.Warn("recovered store", "store", storeDir, "truncated_bytes", tr)
 	}
 
 	svc := service.New(service.Config{
@@ -69,6 +80,7 @@ func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain t
 		MaxInFlight:  maxInFlight,
 		MaxScenarios: maxGrid,
 		MaxN:         maxN,
+		EnablePprof:  pprofOn,
 	})
 	srv := &http.Server{
 		Addr:              addr,
@@ -81,14 +93,14 @@ func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain t
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "idonly-serve: listening on %s (store %s, %d results)\n", addr, storeDir, st.Len())
+	slog.Info("listening", "addr", addr, "store", storeDir, "results", st.Len(), "pprof", pprofOn)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "idonly-serve: shutting down")
+	slog.Info("shutting down")
 	shCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {

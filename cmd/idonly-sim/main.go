@@ -24,7 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -37,8 +37,16 @@ import (
 	"idonly/internal/core/rotor"
 	"idonly/internal/engine"
 	"idonly/internal/ids"
+	"idonly/internal/obs"
 	"idonly/internal/sim"
 )
+
+// fatalf logs through the shared slog setup and exits; stdout stays
+// reserved for run output.
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -53,7 +61,12 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "max protocol rounds; 0 = protocol default (dynamic: 5n/2+25)")
 		churn    = flag.String("churn", "", "churn spec (e.g. j1,l1,fj1,fl1); runs through the scenario engine")
 	)
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logFlags.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *churn != "" {
 		// The engine scenario path uses its own per-protocol workload;
@@ -65,17 +78,17 @@ func main() {
 			}
 		})
 		if len(ignored) > 0 {
-			fmt.Fprintf(os.Stderr, "warning: %s ignored with -churn (the scenario engine defines its own workload)\n",
-				strings.Join(ignored, ", "))
+			slog.Warn("flags ignored with -churn (the scenario engine defines its own workload)",
+				"flags", strings.Join(ignored, ", "))
 		}
 		if err := runScenario(*protocol, *adv, *churn, *n, *f, *rounds, *pairs, *seed); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		return
 	}
 
 	if *n <= 3**f {
-		fmt.Fprintf(os.Stderr, "warning: n=%d ≤ 3f=%d — outside the algorithms' resiliency; expect violations\n", *n, 3**f)
+		slog.Warn("outside the algorithms' resiliency; expect violations", "n", *n, "3f", 3**f)
 	}
 	rng := ids.NewRand(*seed)
 	all := ids.Sparse(rng, *n)
@@ -99,7 +112,7 @@ func main() {
 		case "replay":
 			return adversary.Replay{}
 		default:
-			log.Fatalf("unknown adversary %q", *adv)
+			fatalf("unknown adversary %q", *adv)
 			return nil
 		}
 	}
@@ -226,7 +239,7 @@ func main() {
 		m := r.Run(nil)
 		report(m)
 		if v := dynamic.PrefixViolations(nodes); v > 0 {
-			log.Fatalf("chain-prefix violated across %d node pairs", v)
+			fatalf("chain-prefix violated across %d node pairs", v)
 		}
 		for _, nd := range nodes {
 			fmt.Printf("node %12d chain=%d final-round=%d members=%d lag=%d\n",
@@ -234,7 +247,7 @@ func main() {
 		}
 
 	default:
-		log.Fatalf("unknown protocol %q", *protocol)
+		fatalf("unknown protocol %q", *protocol)
 	}
 }
 

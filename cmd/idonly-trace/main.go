@@ -1,31 +1,61 @@
-// Command idonly-trace runs a small consensus instance and dumps a
+// Command idonly-trace has two modes.
+//
+// By default it runs a small consensus instance and dumps a
 // round-by-round message trace — every send of every correct node —
 // which is the fastest way to see the five-round phase structure
 // (input / prefer / strongprefer / rotor / evaluate) on the wire.
 //
+// With -summarize it instead reads a sweep trace file (the NDJSON span
+// stream written by idonly-bench -trace-out, or a /v1/sweep?trace=1
+// response piped to a file or stdin via '-') and prints per-phase
+// totals, the cache split, and the top-k slowest scenarios.
+//
 // Usage:
 //
 //	idonly-trace -n 4 -f 1 -rounds 14
+//	idonly-bench -grid small -trace-out trace.ndjson
+//	idonly-trace -summarize trace.ndjson -top 5
+//	curl -s -X POST 'localhost:8080/v1/sweep?trace=1' -d '{"preset":"small"}' | idonly-trace -summarize -
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"os"
+	"time"
 
 	"idonly/internal/adversary"
 	"idonly/internal/core/consensus"
+	"idonly/internal/engine"
 	"idonly/internal/ids"
+	"idonly/internal/obs"
 	"idonly/internal/sim"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 4, "total nodes")
-		f      = flag.Int("f", 1, "Byzantine nodes")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		rounds = flag.Int("rounds", 14, "max rounds to trace")
+		n         = flag.Int("n", 4, "total nodes")
+		f         = flag.Int("f", 1, "Byzantine nodes")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		rounds    = flag.Int("rounds", 14, "max rounds to trace")
+		summarize = flag.String("summarize", "", "summarize a sweep trace file instead of running ('-' = stdin)")
+		topK      = flag.Int("top", 10, "with -summarize: show the k slowest scenarios")
 	)
+	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := logFlags.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *summarize != "" {
+		if err := summarizeTrace(*summarize, *topK); err != nil {
+			slog.Error("summarizing trace", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rng := ids.NewRand(*seed)
 	all := ids.Sparse(rng, *n)
@@ -75,6 +105,54 @@ func main() {
 		fmt.Printf("  %s (id %d) decided %v in round %d\n",
 			short[nd.ID()], nd.ID(), nd.Value(), nd.DecidedRound())
 	}
+}
+
+// summarizeTrace reads the span stream and prints the aggregate view:
+// totals, the cache/error split, per-phase time, and the slowest
+// scenarios with their phase breakdown.
+func summarizeTrace(path string, topK int) error {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := engine.ReadSpans(r)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no span records in %s (need idonly-bench -trace-out or /v1/sweep?trace=1 output)", path)
+	}
+	sum := engine.SummarizeSpans(spans)
+	fmt.Printf("spans     %d (%d cached, %d computed, %d errors)\n",
+		sum.Spans, sum.Cached, sum.Spans-sum.Cached, sum.Errors)
+	fmt.Printf("rounds    %d\n", sum.Rounds)
+	fmt.Printf("messages  %d\n", sum.Messages)
+	fmt.Printf("phase     build %v, run %v, wall %v (summed over scenarios)\n",
+		time.Duration(sum.BuildNS).Round(time.Microsecond),
+		time.Duration(sum.RunNS).Round(time.Microsecond),
+		time.Duration(sum.WallNS).Round(time.Microsecond))
+	slow := engine.SlowestSpans(spans, topK)
+	fmt.Printf("\nslowest %d scenarios:\n", len(slow))
+	for _, sp := range slow {
+		tag := ""
+		if sp.Cached {
+			tag = " [cached]"
+		}
+		if sp.Err != "" {
+			tag += " [error]"
+		}
+		fmt.Printf("  %10v  seq=%-5d worker=%-3d build=%-10v run=%-10v rounds=%-5d %s (%s)%s\n",
+			time.Duration(sp.WallNS).Round(time.Microsecond), sp.Seq, sp.Worker,
+			time.Duration(sp.BuildNS).Round(time.Microsecond),
+			time.Duration(sp.RunNS).Round(time.Microsecond),
+			sp.Rounds, sp.Scenario, sp.Digest[:12], tag)
+	}
+	return nil
 }
 
 func phaseName(round int) string {

@@ -28,6 +28,15 @@ import (
 // of the worker count. fn must not touch state shared with other
 // indices.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	return MapWorker(workers, n, func(_, i int) T { return fn(i) })
+}
+
+// MapWorker is Map with the worker-pool slot made visible to fn — the
+// hook trace records use it to label each span with the goroutine lane
+// that ran the scenario. Results are still index-ordered and
+// worker-count-independent; the slot number is reporting, not
+// semantics.
+func MapWorker[T any](workers, n int, fn func(worker, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
@@ -40,7 +49,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(0, i)
 		}
 		return out
 	}
@@ -48,16 +57,16 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
@@ -67,6 +76,11 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 type Options struct {
 	Workers int    // scenario-level worker pool size; <= 0 means GOMAXPROCS
 	Grid    string // optional grid name recorded in the report
+
+	// Hooks is the sweep's observability: engine metrics and/or a
+	// per-scenario trace sink. The zero value is fully disabled and
+	// adds no measurable overhead (see Hooks).
+	Hooks Hooks
 }
 
 // RunAll executes every scenario across the worker pool and returns the
@@ -78,15 +92,15 @@ func RunAll(specs []Scenario, opts Options) *Report {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	results := Map(workers, len(specs), func(i int) Result {
-		return specs[i].Run()
+	results := MapWorker(workers, len(specs), func(w, i int) Result {
+		return specs[i].RunHooked(w, i, opts.Hooks)
 	})
 	return &Report{
 		Grid:      opts.Grid,
 		Scenarios: len(specs),
 		Workers:   workers,
 		ElapsedNS: time.Since(start).Nanoseconds(),
-		Groups:    Aggregate(results),
+		Groups:    opts.Hooks.Aggregate(results),
 		Results:   results,
 	}
 }

@@ -289,7 +289,20 @@ func (s Scenario) Validate() error {
 // invariant violation (the node implementations panic on agreement or
 // validity breaks — the runs double as checkers) is captured into
 // Result.Err rather than unwinding the worker pool.
-func (s Scenario) Run() (res Result) {
+func (s Scenario) Run() Result { return s.run(nil) }
+
+// phases is the per-run phase split an instrumented run reports: the
+// build phase covers validation through churn-plan compilation, the
+// rounds phase is the simulated run itself. A nil *phases (the
+// uninstrumented path) costs one branch per phase boundary — that is
+// the whole disabled-observability overhead, and the BENCH gate pins
+// it.
+type phases struct {
+	buildNS  int64
+	roundsNS int64
+}
+
+func (s Scenario) run(ph *phases) (res Result) {
 	s = s.withDefaults()
 	res.Scenario = s
 	start := time.Now()
@@ -351,7 +364,15 @@ func (s Scenario) Run() (res Result) {
 			return false
 		}
 	}
+	var roundsStart time.Time
+	if ph != nil {
+		roundsStart = time.Now()
+		ph.buildNS = roundsStart.Sub(start).Nanoseconds()
+	}
 	m := run.Run(stop)
+	if ph != nil {
+		ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+	}
 
 	res.Rounds = m.Rounds
 	res.MessagesDelivered = m.MessagesDelivered

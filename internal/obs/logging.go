@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags is the shared -log-level / -log-format flag pair every
+// binary registers, so service and CLI logs are uniformly structured
+// (and machine-parseable with -log-format json) instead of ad-hoc
+// stderr prints.
+type LogFlags struct {
+	level  *string
+	format *string
+}
+
+// RegisterLogFlags adds -log-level and -log-format to fs.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	return &LogFlags{
+		level:  fs.String("log-level", "info", "log level: debug, info, warn or error"),
+		format: fs.String("log-format", "text", "log format: text or json"),
+	}
+}
+
+// Setup builds the configured slog logger over w, installs it as the
+// process default, and returns it. Call after flag.Parse.
+func (l *LogFlags) Setup(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(*l.level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", *l.level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(*l.format) {
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", *l.format)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type, for
+// handlers serving WritePrometheus output over HTTP.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): a HELP and TYPE line per
+// family, then one sample line per series — histograms expand into
+// cumulative `_bucket` lines (ending at le="+Inf"), `_sum` and
+// `_count`. Families render in sorted name order and series in sorted
+// label order, so two renders of identical state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			writeSeries(bw, f.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, s *series) {
+	switch {
+	case s.h != nil:
+		writeHistogram(bw, name, s)
+	case s.fn != nil:
+		writeSample(bw, name, s.labels, "", formatFloat(s.fn()))
+	case s.c != nil:
+		writeSample(bw, name, s.labels, "", strconv.FormatInt(s.c.Value(), 10))
+	case s.g != nil:
+		writeSample(bw, name, s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+	}
+}
+
+// writeHistogram renders the cumulative bucket lines, then sum and
+// count. Bucket counts are loaded once into a local snapshot so the
+// cumulative sums are internally consistent even under concurrent
+// Observe calls; count is recomputed from the same snapshot so
+// `_count` always equals the +Inf bucket, as the format requires.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.h
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeSample(bw, name+"_bucket", s.labels, `le="`+formatFloat(bound)+`"`, strconv.FormatInt(cum, 10))
+	}
+	cum += counts[len(counts)-1]
+	writeSample(bw, name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatInt(cum, 10))
+	writeSample(bw, name+"_sum", s.labels, "", formatFloat(h.Sum()))
+	writeSample(bw, name+"_count", s.labels, "", strconv.FormatInt(cum, 10))
+}
+
+// writeSample emits one line: name{labels,extra} value. labels and
+// extra are pre-rendered `k="v"` fragments; either may be empty.
+func writeSample(bw *bufio.Writer, name, labels, extra, value string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line body: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote and
+// newline, per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

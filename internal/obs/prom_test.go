@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// goldenRegistry builds a registry with every metric shape the plane
+// uses: plain and labeled counters, gauges, callback series, a
+// histogram, and label values that need escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("idonly_test_sweeps_total", "Sweeps completed.")
+	c.Add(42)
+	r.Counter("idonly_test_requests_total", "HTTP requests by endpoint and code.",
+		L("endpoint", "sweep"), L("code", "200")).Add(7)
+	r.Counter("idonly_test_requests_total", "HTTP requests by endpoint and code.",
+		L("endpoint", "sweep"), L("code", "429")).Add(2)
+	r.Counter("idonly_test_requests_total", "HTTP requests by endpoint and code.",
+		L("endpoint", "result"), L("code", "404")).Inc()
+	g := r.Gauge("idonly_test_inflight", "Sweeps currently running.")
+	g.Set(3)
+	r.GaugeFunc("idonly_test_log_bytes", "Result log size in bytes.", func() float64 { return 1536 })
+	r.CounterFunc("idonly_test_gets_total", "Store reads.", func() float64 { return 19 })
+	h := r.Histogram("idonly_test_sweep_seconds", "Sweep wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(2.5)
+	h.Observe(99)
+	r.Counter("idonly_test_weird_total", "Help with a \\ backslash\nand newline.",
+		L("path", `C:\tmp`), L("quoted", `say "hi"`)).Inc()
+	return r
+}
+
+// TestWritePrometheusGolden pins the full rendered form byte for byte.
+// Regenerate with: go test ./internal/obs -run Golden -update
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "registry.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("rendered exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Rendering twice must be byte-identical (determinism contract).
+	var sb2 strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatal("two renders of identical state differ")
+	}
+}
+
+// Exposition-format grammar, per the Prometheus text format spec:
+// sample lines are name{label="value",...} value, where label values
+// escape \\ \" and \n.
+var (
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRE = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
+			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*"` + // first label
+			`(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*")*\})?` + // rest
+			` (-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+	leRE = regexp.MustCompile(`le="([^"]*)"`)
+)
+
+// TestExpositionGrammarRoundTrip renders a populated registry and
+// re-parses every line against the exposition-format grammar: HELP and
+// TYPE precede their samples, every sample line matches the sample
+// production, sample names belong to their family (histograms may
+// append _bucket/_sum/_count), buckets are cumulative and end at
+// le="+Inf" with the _count value.
+func TestExpositionGrammarRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("output does not end in a newline")
+	}
+
+	type famState struct {
+		typ        string
+		sawSample  bool
+		bucketCum  map[string]int64 // label-set (minus le) -> last cumulative count
+		bucketInf  map[string]int64
+		countValue map[string]int64
+	}
+	fams := map[string]*famState{}
+	var current string
+
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+			if fams[m[1]] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", i+1, m[1])
+			}
+			fams[m[1]] = &famState{bucketCum: map[string]int64{}, bucketInf: map[string]int64{}, countValue: map[string]int64{}}
+			current = m[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			f := fams[m[1]]
+			if f == nil || m[1] != current {
+				t.Fatalf("line %d: TYPE for %s without preceding HELP", i+1, m[1])
+			}
+			if f.sawSample {
+				t.Fatalf("line %d: TYPE after samples for %s", i+1, m[1])
+			}
+			f.typ = m[2]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", i+1, line)
+		default:
+			m := sampleRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: sample does not match the grammar: %q", i+1, line)
+			}
+			name, labels, value := m[1], m[2], m[3]
+			f := fams[current]
+			if f == nil || f.typ == "" {
+				t.Fatalf("line %d: sample before HELP/TYPE: %q", i+1, line)
+			}
+			f.sawSample = true
+			base := name
+			if f.typ == "histogram" {
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if strings.HasSuffix(name, suf) {
+						base = strings.TrimSuffix(name, suf)
+					}
+				}
+			}
+			if base != current {
+				t.Fatalf("line %d: sample %s outside its family %s", i+1, name, current)
+			}
+			if f.typ != "histogram" {
+				continue
+			}
+			// The series identity is the label set minus le; normalize
+			// the leftover braces/commas so bucket lines and _sum/_count
+			// lines of one series compare equal.
+			series := leRE.ReplaceAllString(labels, "")
+			for _, junk := range []string{"{,", ",}", "{}"} {
+				series = strings.ReplaceAll(series, junk, strings.Trim(junk, ","))
+			}
+			series = strings.Trim(series, "{}")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le := leRE.FindStringSubmatch(labels)
+				if le == nil {
+					t.Fatalf("line %d: bucket without le: %q", i+1, line)
+				}
+				n, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: non-integer bucket count: %q", i+1, line)
+				}
+				if n < f.bucketCum[series] {
+					t.Fatalf("line %d: bucket counts not cumulative: %q", i+1, line)
+				}
+				f.bucketCum[series] = n
+				if le[1] == "+Inf" {
+					f.bucketInf[series] = n
+				}
+			case strings.HasSuffix(name, "_count"):
+				n, _ := strconv.ParseInt(value, 10, 64)
+				f.countValue[series] = n
+			}
+		}
+	}
+	for name, f := range fams {
+		if f.typ == "" {
+			t.Fatalf("family %s has no TYPE line", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for series, inf := range f.bucketInf {
+			if f.countValue[series] != inf {
+				t.Fatalf("family %s series %q: _count %d != +Inf bucket %d",
+					name, series, f.countValue[series], inf)
+			}
+		}
+		if len(f.bucketInf) == 0 {
+			t.Fatalf("family %s: histogram without a +Inf bucket", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceWriter is a concurrency-safe NDJSON sink: each Write marshals
+// one record and appends it as a single line, serialized by a mutex so
+// records from concurrent sweep workers never interleave mid-line. The
+// writer buffers; call Flush (or Close a flushing owner) before the
+// file is read.
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTraceWriter wraps w as an NDJSON trace sink.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one record as one JSON line. The first error sticks:
+// later Writes are dropped and Flush reports it, so a full disk
+// surfaces once instead of once per scenario.
+func (t *TraceWriter) Write(rec any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.bw.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Flush drains the buffer and returns the first error seen, write
+// errors included.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

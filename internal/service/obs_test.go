@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"idonly/internal/engine"
+	"idonly/internal/obs"
+)
+
+// TestMetricsEndpoint: after a cold and a warm sweep, /metrics serves
+// valid exposition text carrying the service, engine, and store
+// families with values matching the traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody) // cold: 8 computed
+	postSweep(t, ts, "", testGridBody) // warm: 8 cached
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for _, want := range []string{
+		// service tier
+		"idonly_sweeps_total 2\n",
+		"idonly_sweep_scenarios_total 16\n",
+		"idonly_sweeps_in_flight 0\n",
+		`idonly_http_requests_total{code="200",endpoint="sweep"} 2` + "\n",
+		"idonly_http_request_seconds_count{endpoint=\"sweep\"} 2\n",
+		// engine tier
+		`idonly_engine_scenarios_total{source="computed"} 8` + "\n",
+		`idonly_engine_scenarios_total{source="cached"} 8` + "\n",
+		// store tier
+		"idonly_store_records 8\n",
+		"idonly_store_puts_total 8\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full exposition:\n%s", out)
+	}
+}
+
+// TestSweepTrace: trace=1 adds one span line per scenario between the
+// results and the trailer, and the whole stream round-trips through
+// engine.ReadSpans.
+func TestSweepTrace(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody) // warm the store
+
+	resp, body := postSweep(t, ts, "?trace=1", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced sweep: %d %s", resp.StatusCode, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	// 8 results + 8 spans + 1 trailer
+	if len(lines) != 17 {
+		t.Fatalf("%d lines, want 17", len(lines))
+	}
+	spans, err := engine.ReadSpans(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 8 {
+		t.Fatalf("%d spans, want 8", len(spans))
+	}
+	for i, sp := range spans {
+		if sp.Seq != i {
+			t.Fatalf("span %d out of order: %+v", i, sp)
+		}
+		if !sp.Cached || sp.Worker != -1 {
+			t.Fatalf("warm sweep span not cached: %+v", sp)
+		}
+	}
+
+	// trace=1 is an NDJSON affordance; other formats reject it.
+	resp, _ = postSweep(t, ts, "?trace=1&format=canonical", testGridBody)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace with canonical format: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsQuantiles: the histogram-derived p50/p99 fields appear and
+// are plausible once a sweep has run.
+func TestStatsQuantiles(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sweep_ns_p50", "sweep_ns_p99"} {
+		v, ok := raw[key].(float64)
+		if !ok || v <= 0 {
+			t.Fatalf("stats %s = %v, want positive", key, raw[key])
+		}
+	}
+	// Backward-compatible fields are still present.
+	for _, key := range []string{"sweeps", "cache_hits", "cache_misses", "sweep_ns_total", "last_sweep_ns", "store"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("stats lost field %q", key)
+		}
+	}
+}
+
+// TestPprofOptIn: pprof handlers answer only when enabled.
+func TestPprofOptIn(t *testing.T) {
+	_, off := newTestService(t, Config{Workers: 1})
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+
+	_, on := newTestService(t, Config{Workers: 1, EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline with EnablePprof: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSweepMetrics hammers the registry from concurrent
+// sweeps, scrapes, and stats reads — the race-mode workout for the
+// whole observability plane.
+func TestConcurrentSweepMetrics(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2, MaxInFlight: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				resp, err := http.Post(ts.URL+"/v1/sweep?trace=1", "application/json",
+					strings.NewReader(testGridBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				for _, path := range []string{"/metrics", "/v1/stats", "/v1/healthz"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,16 +3,21 @@
 // grids through the content-addressed result store and serves
 // individual results by digest.
 //
-// Endpoints (all under /v1):
+// Endpoints (all under /v1 unless noted):
 //
 //	POST /v1/sweep          run a grid; body is a SweepRequest, response
 //	                        is an NDJSON stream (one engine.Result per
 //	                        line, then one SweepTrailer line) — or, with
 //	                        ?format=canonical, the byte-stable canonical
-//	                        report, or ?format=report the full timed one
+//	                        report, or ?format=report the full timed one.
+//	                        With ?trace=1 (NDJSON only) the stream also
+//	                        carries one {"span": ...} line per scenario
+//	                        between the results and the trailer.
 //	GET  /v1/result/{digest} one stored result by scenario digest
 //	GET  /v1/healthz        liveness + store record count
 //	GET  /v1/stats          hit/miss/latency counters + store stats
+//	GET  /metrics           Prometheus text exposition of the registry
+//	/debug/pprof/*          runtime profiles, when Config.EnablePprof
 //
 // Sweeps are bounded two ways: at most Config.MaxInFlight run
 // concurrently (excess requests get 429 + Retry-After rather than
@@ -20,17 +25,26 @@
 // Config.MaxScenarios scenarios (413 beyond that). Graceful shutdown is
 // the caller's job via http.Server.Shutdown; the handler holds no state
 // that outlives a request.
+//
+// Every request is counted in idonly_http_requests_total{endpoint,code}
+// and timed in idonly_http_request_seconds{endpoint}; the engine and
+// store families (idonly_engine_*, idonly_store_*) live on the same
+// registry, so one /metrics scrape covers all three tiers.
 package service
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"idonly/internal/engine"
+	"idonly/internal/obs"
 	"idonly/internal/store"
 )
 
@@ -47,6 +61,15 @@ type Config struct {
 	// slot for hours, and sweeps are not cancellable mid-run.
 	MaxN      int
 	MaxRounds int
+
+	// Registry receives every metric family (service, engine, store)
+	// and backs GET /metrics; nil means a fresh private registry.
+	Registry *obs.Registry
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
+	// default: profiles expose timing internals and cost CPU to take,
+	// so they are opt-in per process.
+	EnablePprof bool
 }
 
 // SweepRequest is the POST /v1/sweep body: either a named preset or a
@@ -69,7 +92,10 @@ type SweepTrailer struct {
 	ElapsedNS    int64          `json:"elapsed_ns"`
 }
 
-// Counters is the GET /v1/stats payload.
+// Counters is the GET /v1/stats payload. Every field is read from the
+// metrics registry; the JSON names predate the registry and stay
+// byte-compatible. SweepNSP50/P99 are histogram-derived estimates over
+// the same samples SweepNSTotal sums.
 type Counters struct {
 	Sweeps          int64       `json:"sweeps"`           // sweeps completed
 	SweepsInFlight  int64       `json:"sweeps_in_flight"` // currently running
@@ -80,6 +106,8 @@ type Counters struct {
 	ResultLookups   int64       `json:"result_lookups"`   // GET /v1/result calls
 	SweepNSTotal    int64       `json:"sweep_ns_total"`   // cumulative sweep wall time
 	LastSweepNS     int64       `json:"last_sweep_ns"`    // latency of the most recent sweep
+	SweepNSP50      int64       `json:"sweep_ns_p50"`     // histogram-estimated median sweep latency
+	SweepNSP99      int64       `json:"sweep_ns_p99"`     // histogram-estimated p99 sweep latency
 	Store           store.Stats `json:"store"`
 }
 
@@ -88,13 +116,25 @@ type Service struct {
 	cfg Config
 	mux *http.ServeMux
 	sem chan struct{}
+	reg *obs.Registry
+	eo  *engine.Obs
 
-	sweeps, rejected, scenarios atomic.Int64
-	hits, misses, lookups       atomic.Int64
-	sweepNSTotal, lastSweepNS   atomic.Int64
+	sweeps       *obs.Counter   // idonly_sweeps_total
+	rejected     *obs.Counter   // idonly_sweeps_rejected_total
+	scenarios    *obs.Counter   // idonly_sweep_scenarios_total
+	lookups      *obs.Counter   // idonly_result_lookups_total
+	sweepNSTotal *obs.Counter   // idonly_sweep_wall_ns_total
+	lastSweepNS  *obs.Gauge     // idonly_sweep_last_ns
+	sweepLat     *obs.Histogram // idonly_sweep_seconds
 }
 
-// New builds the service over an open store.
+const (
+	reqHelp    = "HTTP requests, by endpoint and status code."
+	reqLatHelp = "HTTP request latency by endpoint, seconds."
+)
+
+// New builds the service over an open store, registering the service,
+// engine, and store metric families on the configured registry.
 func New(cfg Config) *Service {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 2
@@ -108,16 +148,113 @@ func New(cfg Config) *Service {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 100000
 	}
-	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight), reg: reg}
+	s.eo = engine.NewObs(reg)
+	cfg.Store.Instrument(reg)
+	s.sweeps = reg.Counter("idonly_sweeps_total", "Sweeps completed.")
+	s.rejected = reg.Counter("idonly_sweeps_rejected_total",
+		"Sweeps rejected by the in-flight bound (HTTP 429).")
+	s.scenarios = reg.Counter("idonly_sweep_scenarios_total",
+		"Scenarios served across all sweeps, cached or computed.")
+	s.lookups = reg.Counter("idonly_result_lookups_total",
+		"GET /v1/result calls.")
+	s.sweepNSTotal = reg.Counter("idonly_sweep_wall_ns_total",
+		"Cumulative sweep wall time, nanoseconds.")
+	s.lastSweepNS = reg.Gauge("idonly_sweep_last_ns",
+		"Wall time of the most recent sweep, nanoseconds.")
+	s.sweepLat = reg.Histogram("idonly_sweep_seconds",
+		"Sweep wall time, seconds.", obs.LatencyBuckets)
+	reg.GaugeFunc("idonly_sweeps_in_flight",
+		"Sweeps currently running.",
+		func() float64 { return float64(len(s.sem)) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/result/{digest}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return s
 }
 
-func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Registry returns the registry the service records into; callers use
+// it to add process-level families or render it out of band.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// endpointLabel maps a request path onto a bounded label set —
+// digests, pprof profile names, and arbitrary junk paths must not mint
+// unbounded metric series.
+func endpointLabel(path string) string {
+	switch {
+	case path == "/v1/sweep":
+		return "sweep"
+	case strings.HasPrefix(path, "/v1/result/"):
+		return "result"
+	case path == "/v1/healthz":
+		return "healthz"
+	case path == "/v1/stats":
+		return "stats"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter records the response code for the request counter while
+// forwarding Flush so NDJSON streaming keeps working through the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ep := endpointLabel(r.URL.Path)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	// Registration is idempotent, so the per-request lookups resolve to
+	// the same series; the label space is bounded by endpointLabel.
+	s.reg.Histogram("idonly_http_request_seconds", reqLatHelp, obs.LatencyBuckets,
+		obs.L("endpoint", ep)).ObserveSince(start)
+	s.reg.Counter("idonly_http_requests_total", reqHelp,
+		obs.L("endpoint", ep), obs.L("code", strconv.Itoa(sw.code))).Inc()
+}
 
 // httpError writes a one-line JSON error body.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -200,11 +337,17 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Reject everything rejectable — body, grid, format — before
 	// taking an in-flight slot, so a slow or malformed request can
 	// never pin a semaphore slot while legitimate sweeps get 429s.
-	format := r.URL.Query().Get("format")
+	q := r.URL.Query()
+	format := q.Get("format")
 	switch format {
 	case "", "ndjson", "canonical", "report":
 	default:
 		httpError(w, http.StatusBadRequest, "unknown format %q (want ndjson, canonical or report)", format)
+		return
+	}
+	traced := q.Get("trace") == "1"
+	if traced && format != "" && format != "ndjson" {
+		httpError(w, http.StatusBadRequest, "trace=1 requires the ndjson format")
 		return
 	}
 	var req SweepRequest
@@ -226,31 +369,40 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		s.rejected.Add(1)
+		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%d sweeps already in flight", s.cfg.MaxInFlight)
 		return
 	}
 
+	hooks := engine.Hooks{Obs: s.eo}
+	var spanMu sync.Mutex
+	var spans []engine.Span
+	if traced {
+		hooks.Span = func(sp engine.Span) {
+			spanMu.Lock()
+			spans = append(spans, sp)
+			spanMu.Unlock()
+		}
+	}
 	start := time.Now()
 	rep, stats, err := store.CachedRunAll(s.cfg.Store, specs, engine.Options{
-		Workers: s.cfg.Workers, Grid: gridName,
+		Workers: s.cfg.Workers, Grid: gridName, Hooks: hooks,
 	})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
 		return
 	}
-	elapsed := time.Since(start).Nanoseconds()
-	s.sweeps.Add(1)
+	elapsed := time.Since(start)
+	s.sweeps.Inc()
 	s.scenarios.Add(int64(len(specs)))
-	s.hits.Add(int64(stats.Hits))
-	s.misses.Add(int64(stats.Misses))
-	s.sweepNSTotal.Add(elapsed)
-	s.lastSweepNS.Store(elapsed)
+	s.sweepNSTotal.Add(elapsed.Nanoseconds())
+	s.lastSweepNS.Set(elapsed.Nanoseconds())
+	s.sweepLat.Observe(elapsed.Seconds())
 
 	switch format {
 	case "", "ndjson":
-		s.writeNDJSON(w, rep, stats, elapsed)
+		s.writeNDJSON(w, rep, stats, spans, elapsed.Nanoseconds())
 	case "canonical":
 		b, err := rep.CanonicalBytes()
 		if err != nil {
@@ -265,11 +417,18 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// spanLine wraps a Span for the NDJSON stream, so trace lines are
+// distinguishable from result lines by their single "span" key.
+type spanLine struct {
+	Span *engine.Span `json:"span"`
+}
+
 // writeNDJSON streams the per-scenario results one JSON object per
-// line, in deterministic input order, then the trailer with aggregates
-// and cache stats. Lines are flushed as written so a slow client sees
-// results as they serialize.
-func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats store.RunStats, elapsed int64) {
+// line, in deterministic input order, then (for traced sweeps) one
+// span line per scenario in sweep order, then the trailer with
+// aggregates and cache stats. Lines are flushed as written so a slow
+// client sees results as they serialize.
+func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats store.RunStats, spans []engine.Span, elapsed int64) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -279,6 +438,17 @@ func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats s
 		}
 		if flusher != nil && i%64 == 63 {
 			flusher.Flush()
+		}
+	}
+	if spans != nil {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+		for i := range spans {
+			if err := enc.Encode(spanLine{Span: &spans[i]}); err != nil {
+				return
+			}
+			if flusher != nil && i%64 == 63 {
+				flusher.Flush()
+			}
 		}
 	}
 	digest, err := rep.ContentDigest()
@@ -296,7 +466,7 @@ func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats s
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
-	s.lookups.Add(1)
+	s.lookups.Inc()
 	digest := strings.ToLower(r.PathValue("digest"))
 	if len(digest) != 64 || strings.Trim(digest, "0123456789abcdef") != "" {
 		httpError(w, http.StatusBadRequest, "digest must be 64 hex characters")
@@ -325,18 +495,25 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.reg.WritePrometheus(w)
+}
+
 // Snapshot returns the current counters (also served at /v1/stats).
 func (s *Service) Snapshot() Counters {
 	return Counters{
-		Sweeps:          s.sweeps.Load(),
+		Sweeps:          s.sweeps.Value(),
 		SweepsInFlight:  int64(len(s.sem)),
-		SweepsRejected:  s.rejected.Load(),
-		ScenariosServed: s.scenarios.Load(),
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
-		ResultLookups:   s.lookups.Load(),
-		SweepNSTotal:    s.sweepNSTotal.Load(),
-		LastSweepNS:     s.lastSweepNS.Load(),
+		SweepsRejected:  s.rejected.Value(),
+		ScenariosServed: s.scenarios.Value(),
+		CacheHits:       s.eo.Cached.Value(),
+		CacheMisses:     s.eo.Computed.Value(),
+		ResultLookups:   s.lookups.Value(),
+		SweepNSTotal:    s.sweepNSTotal.Value(),
+		LastSweepNS:     s.lastSweepNS.Value(),
+		SweepNSP50:      int64(s.sweepLat.Quantile(0.5) * 1e9),
+		SweepNSP99:      int64(s.sweepLat.Quantile(0.99) * 1e9),
 		Store:           s.cfg.Store.Stats(),
 	}
 }

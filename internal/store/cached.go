@@ -21,32 +21,47 @@ type RunStats struct {
 // order. A fully warm run executes zero simulator rounds, and because
 // stored results are the byte-for-byte results of a cold run, the warm
 // report's canonical bytes are identical to the cold report's.
+//
+// opts.Hooks flows through: cache hits are reported via ObserveCached
+// (a span per hit, WallNS the store lookup time), misses run through
+// RunHooked with their real worker slot and sweep index, so a traced
+// warm sweep still shows every cell of the grid.
 func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*engine.Report, RunStats, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	hooks := opts.Hooks
+	hooked := hooks.Enabled()
 
 	var stats RunStats
 	results := make([]engine.Result, len(specs))
 	var missIdx []int
 	for i, spec := range specs {
-		res, ok, err := st.Get(spec.Digest())
+		digest := spec.Digest()
+		var lookup time.Time
+		if hooked {
+			lookup = time.Now()
+		}
+		res, ok, err := st.Get(digest)
 		if err != nil {
 			return nil, stats, err
 		}
 		if ok {
 			results[i] = res
 			stats.Hits++
+			if hooked {
+				hooks.ObserveCached(i, digest, &results[i], time.Since(lookup).Nanoseconds())
+			}
 		} else {
 			missIdx = append(missIdx, i)
 		}
 	}
 	stats.Misses = len(missIdx)
 	if len(missIdx) > 0 {
-		fresh := engine.Map(workers, len(missIdx), func(j int) engine.Result {
-			return specs[missIdx[j]].Run()
+		fresh := engine.MapWorker(workers, len(missIdx), func(w, j int) engine.Result {
+			return specs[missIdx[j]].RunHooked(w, missIdx[j], hooks)
 		})
 		for j, res := range fresh {
 			results[missIdx[j]] = res
@@ -63,7 +78,7 @@ func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*eng
 		Scenarios: len(specs),
 		Workers:   workers,
 		ElapsedNS: time.Since(start).Nanoseconds(),
-		Groups:    engine.Aggregate(results),
+		Groups:    hooks.Aggregate(results),
 		Results:   results,
 	}, stats, nil
 }

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"idonly/internal/engine"
+	"idonly/internal/obs"
+)
+
+func instrumentGrid() []engine.Scenario {
+	return engine.Grid{
+		Name:        "instr-test",
+		Protocols:   []string{engine.ProtoConsensus},
+		Adversaries: []string{engine.AdvSilent},
+		Sizes:       []int{7},
+		Seeds:       []uint64{1, 2, 3, 4},
+	}.Scenarios()
+}
+
+// TestInstrumentedStore: the metric families track the store's own
+// Stats counters through a cold and a warm cached sweep, and the
+// rendered exposition contains every store family.
+func TestInstrumentedStore(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	st.Instrument(reg)
+	eo := engine.NewObs(reg)
+	var mu sync.Mutex
+	var spans []engine.Span
+	opts := engine.Options{Workers: 2, Hooks: engine.Hooks{
+		Obs:  eo,
+		Span: func(sp engine.Span) { mu.Lock(); spans = append(spans, sp); mu.Unlock() },
+	}}
+	specs := instrumentGrid()
+
+	cold, stats, err := CachedRunAll(st, specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 0 || stats.Misses != len(specs) {
+		t.Fatalf("cold run: %+v", stats)
+	}
+	warm, stats, err := CachedRunAll(st, specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != len(specs) || stats.Misses != 0 {
+		t.Fatalf("warm run: %+v", stats)
+	}
+	if string(cold.Canonical()) != string(warm.Canonical()) {
+		t.Fatal("warm report differs from cold report")
+	}
+
+	if got := eo.Computed.Value(); got != int64(len(specs)) {
+		t.Fatalf("computed %d, want %d", got, len(specs))
+	}
+	if got := eo.Cached.Value(); got != int64(len(specs)) {
+		t.Fatalf("cached %d, want %d", got, len(specs))
+	}
+	if len(spans) != 2*len(specs) {
+		t.Fatalf("%d spans, want %d", len(spans), 2*len(specs))
+	}
+	var cachedSpans int
+	for _, sp := range spans {
+		if sp.Cached {
+			cachedSpans++
+			if sp.Worker != -1 || sp.BuildNS != 0 || sp.RunNS != 0 {
+				t.Fatalf("bad cached span: %+v", sp)
+			}
+		}
+		if sp.Digest != specs[sp.Seq].Digest() {
+			t.Fatalf("span %d digest mismatch", sp.Seq)
+		}
+	}
+	if cachedSpans != len(specs) {
+		t.Fatalf("%d cached spans, want %d", cachedSpans, len(specs))
+	}
+
+	// The callback series must agree with the store's own Stats.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	s := st.Stats()
+	for _, want := range []string{
+		"idonly_store_records " + strconv.Itoa(s.Records),
+		"idonly_store_gets_total " + strconv.FormatInt(s.Gets, 10),
+		"idonly_store_get_hits_total " + strconv.FormatInt(s.Hits, 10),
+		"idonly_store_puts_total " + strconv.FormatInt(s.Puts, 10),
+		"idonly_store_dup_puts_total " + strconv.FormatInt(s.DupPuts, 10),
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Latency histograms observed one sample per Get plus one per batch.
+	for _, fam := range []string{"idonly_store_get_seconds_count ", "idonly_store_append_seconds_count "} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("exposition missing family %q", fam)
+		}
+	}
+}
+
+// TestUninstrumentedStoreUnchanged: a store never Instrumented keeps
+// working and records no latency samples (guards the nil fast path).
+func TestUninstrumentedStoreUnchanged(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := CachedRunAll(st, instrumentGrid(), engine.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.inst.Load() != nil {
+		t.Fatal("instruments installed without Instrument")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"idonly/internal/engine"
 )
@@ -89,6 +90,11 @@ type Store struct {
 	gets, hits, puts, dups atomic.Int64
 	truncated              int64
 	closed                 bool
+
+	// inst is the optional metric set installed by Instrument. Nil
+	// until then, so the uninstrumented hot path pays one atomic load
+	// per Get/PutBatch and nothing else.
+	inst atomic.Pointer[instruments]
 }
 
 // Open opens (creating if needed) the store rooted at dir. A torn or
@@ -224,6 +230,9 @@ func (s *Store) Len() int {
 // Get returns the stored result for the digest, if any. It never
 // blocks on writers beyond the index lookup.
 func (s *Store) Get(digest string) (engine.Result, bool, error) {
+	if in := s.inst.Load(); in != nil {
+		defer in.getLat.ObserveSince(time.Now())
+	}
 	s.gets.Add(1)
 	s.imu.RLock()
 	loc, ok := s.index[digest]
@@ -264,6 +273,9 @@ func (s *Store) Put(res engine.Result) error {
 func (s *Store) PutBatch(results []engine.Result) error {
 	if len(results) == 0 {
 		return nil
+	}
+	if in := s.inst.Load(); in != nil {
+		defer in.appendLat.ObserveSince(time.Now())
 	}
 	type staged struct {
 		key string
