@@ -111,7 +111,7 @@ func realMain() int {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Uint64("seed", 42, "workload seed (runs are deterministic per seed)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for sweeps and grids")
-	grid := flag.String("grid", "", "run a scenario grid instead of the experiments: small, medium or large")
+	grid := flag.String("grid", "", "run a scenario grid instead of the experiments: small, medium, large or scale")
 	jsonOut := flag.Bool("json", false, "with -grid: emit the full report as JSON")
 	simWorkers := flag.Int("sim-workers", 1, "with -grid: shard each round's Step calls inside every run across this many goroutines")
 	churn := flag.String("churn", "", "with -grid: replace the churn axis with one spec (e.g. j2,l1,fj1,fl1; 'none' = static only)")
@@ -356,6 +356,18 @@ func runBenchJSON(run, label, outPath, baselinePath string) error {
 	base, err := experiments.ReadBenchSnapshot(f)
 	if err != nil {
 		return err
+	}
+	if len(want) > 0 {
+		// A -run subset deliberately skips the rest of the suite: prune
+		// the baseline to the requested ids so the missing-workload gate
+		// only fires when a *measured* workload vanished.
+		kept := base.Results[:0]
+		for _, r := range base.Results {
+			if want[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		base.Results = kept
 	}
 	if failures := experiments.CompareBenchSnapshots(base, snap, 2.0, 1.5); len(failures) > 0 {
 		return fmt.Errorf("perf regression vs %s:\n  %s",

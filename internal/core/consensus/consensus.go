@@ -78,7 +78,9 @@ type Node struct {
 	// strongprefers survive round E's absorb without a fresh tally.
 	inInputs, inPrefers, inStrongs *quorum.Tally[float64]
 	inOpinions                     map[ids.ID]float64
-	sends                          []sim.Send // backs Step's return value, reused
+	evScratch                      []consEvent       // backs stepCore's return value, reused
+	sends                          []sim.Send        // backs Step's return value, reused
+	wireSends                      []sim.SendT[Wire] // backs StepTyped's return value, reused
 
 	phase        int // 1-based phase counter
 	decided      bool
@@ -143,27 +145,30 @@ func (n *Node) CoordinatorAdoptions() int { return n.coordAdopted }
 // NV returns the frozen membership size (0 before initialization ends).
 func (n *Node) NV() int { return n.nv }
 
-// emit stores sends in the node-owned scratch backing Step's return
-// value (consumed by the runner before the next Step).
-func (n *Node) emit(sends ...sim.Send) []sim.Send {
-	n.sends = append(n.sends[:0], sends...)
-	return n.sends
+// consEvent is one send decided by stepCore, rendered by the plane
+// adapters (Step boxes it, StepTyped wraps it). Every send of
+// Algorithm 3 is a broadcast.
+type consEvent struct {
+	kind uint8 // a w* wire kind
+	p    ids.ID
+	x    float64
 }
 
-// Step implements sim.Process.
-func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
-	inputs, prefers, strongs, opinions := n.absorb(inbox)
+// stepCore runs one round of Algorithm 3 against the absorbed tallies
+// and returns the broadcasts to emit, in node-owned scratch.
+func (n *Node) stepCore(round int, inputs, prefers, strongs *quorum.Tally[float64], opinions map[ids.ID]float64) []consEvent {
+	evs := n.evScratch[:0]
+	defer func() { n.evScratch = evs }()
 
 	switch round {
 	case 1: // init round 1: rotor init broadcast
-		return n.emit(sim.BroadcastPayload(rotor.Init{}))
+		evs = append(evs, consEvent{kind: wInit})
+		return evs
 	case 2: // init round 2: rotor echoes for every init received
-		out := n.sends[:0]
 		for _, p := range n.core.EchoInits() {
-			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
+			evs = append(evs, consEvent{kind: wEcho, p: p})
 		}
-		n.sends = out
-		return out
+		return evs
 	}
 
 	if n.members == nil {
@@ -179,15 +184,14 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		n.phase++
 		n.lastInput, n.hasLastInput = n.xv, true
 		n.hasLastPrefer, n.hasLastStrong = false, false
-		return n.emit(sim.BroadcastPayload(Input{X: n.xv}))
+		evs = append(evs, consEvent{kind: wInput, x: n.xv})
 
 	case 1: // B — count inputs, maybe broadcast prefer
 		n.substitute(inputs, n.lastInput, n.hasLastInput)
 		if x, count, ok := best(inputs); ok && quorum.AtLeastTwoThirds(count, n.nv) {
 			n.lastPrefer, n.hasLastPrefer = x, true
-			return n.emit(sim.BroadcastPayload(Prefer{X: x}))
+			evs = append(evs, consEvent{kind: wPrefer, x: x})
 		}
-		return nil
 
 	case 2: // C — count prefers, adopt, maybe broadcast strongprefer
 		n.substitute(prefers, n.lastPrefer, n.hasLastPrefer)
@@ -197,10 +201,9 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			}
 			if quorum.AtLeastTwoThirds(count, n.nv) {
 				n.lastStrong, n.hasLastStrong = x, true
-				return n.emit(sim.BroadcastPayload(StrongPrefer{X: x}))
+				evs = append(evs, consEvent{kind: wStrong, x: x})
 			}
 		}
-		return nil
 
 	case 3: // D — rotor round; strongprefers arrive here and are buffered
 		n.substitute(strongs, n.lastStrong, n.hasLastStrong)
@@ -208,20 +211,17 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 		// becomes next round's scratch (absorb resets it before use).
 		n.strongTally, n.inStrongs = strongs, n.strongTally
 		relays, sel := n.core.Advance(n.nv)
-		out := n.sends[:0]
 		for _, p := range relays {
-			out = append(out, sim.BroadcastPayload(rotor.Echo{P: p}))
+			evs = append(evs, consEvent{kind: wEcho, p: p})
 		}
 		if sel.HasCoord {
 			n.prevCoord = sel.Coord
 			if sel.SelfCoord {
-				out = append(out, sim.BroadcastPayload(rotor.Opinion{X: n.xv}))
+				evs = append(evs, consEvent{kind: wOpinion, x: n.xv})
 			}
 		} else {
 			n.prevCoord = 0
 		}
-		n.sends = out
-		return out
 
 	default: // E — judge strongprefers, adopt coordinator or terminate
 		x, count, ok := best(n.strongTally)
@@ -229,7 +229,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			n.decided = true
 			n.output = x
 			n.decidedRound = round
-			return nil
+			return evs
 		}
 		if !ok || quorum.LessThanThird(count, n.nv) {
 			if n.prevCoord != 0 {
@@ -239,8 +239,30 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 				}
 			}
 		}
-		return nil
 	}
+	return evs
+}
+
+// Step implements sim.Process.
+func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
+	inputs, prefers, strongs, opinions := n.absorb(inbox)
+	out := n.sends[:0]
+	for _, e := range n.stepCore(round, inputs, prefers, strongs, opinions) {
+		out = append(out, sim.BroadcastPayload(e.boxed()))
+	}
+	n.sends = out
+	return out
+}
+
+// StepTyped implements sim.ProcessT[Wire]; same schedule as Step.
+func (n *Node) StepTyped(round int, inbox []sim.MsgT[Wire]) []sim.SendT[Wire] {
+	inputs, prefers, strongs, opinions := n.absorbTyped(inbox)
+	out := n.wireSends[:0]
+	for _, e := range n.stepCore(round, inputs, prefers, strongs, opinions) {
+		out = append(out, sim.BroadcastT(e.wire()))
+	}
+	n.wireSends = out
+	return out
 }
 
 // absorb classifies the inbox: membership/rotor bookkeeping plus
@@ -248,36 +270,64 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 // non-members are discarded once the membership is frozen. The
 // returned tallies and opinion map are the node's own per-round
 // scratch, valid until the next Step.
+//
+// Any message — even one outside the wire union, like a chaos
+// adversary's junk — counts its sender toward the pre-freeze senders
+// set; only classification is union-gated.
 func (n *Node) absorb(inbox []sim.Message) (inputs, prefers, strongs *quorum.Tally[float64], opinions map[ids.ID]float64) {
-	inputs, prefers, strongs, opinions = n.inInputs, n.inPrefers, n.inStrongs, n.inOpinions
-	inputs.Reset()
-	prefers.Reset()
-	strongs.Reset()
-	clear(opinions)
+	n.resetScratch()
 	for _, msg := range inbox {
 		if n.members == nil {
 			n.senders[msg.From] = true
 		} else if !n.members[msg.From] {
 			continue
 		}
-		switch p := msg.Payload.(type) {
-		case rotor.Init:
-			n.core.AbsorbInit(msg.From)
-		case rotor.Echo:
-			n.core.AbsorbEcho(msg.From, p.P)
-		case rotor.Opinion:
-			if _, dup := opinions[msg.From]; !dup {
-				opinions[msg.From] = p.X
-			}
-		case Input:
-			inputs.Add(p.X, msg.From)
-		case Prefer:
-			prefers.Add(p.X, msg.From)
-		case StrongPrefer:
-			strongs.Add(p.X, msg.From)
+		if w, ok := wrap(msg.Payload); ok {
+			n.absorbOne(msg.From, w)
 		}
 	}
-	return inputs, prefers, strongs, opinions
+	return n.inInputs, n.inPrefers, n.inStrongs, n.inOpinions
+}
+
+// absorbTyped is absorb on the typed plane.
+func (n *Node) absorbTyped(inbox []sim.MsgT[Wire]) (inputs, prefers, strongs *quorum.Tally[float64], opinions map[ids.ID]float64) {
+	n.resetScratch()
+	for _, msg := range inbox {
+		if n.members == nil {
+			n.senders[msg.From] = true
+		} else if !n.members[msg.From] {
+			continue
+		}
+		n.absorbOne(msg.From, msg.Payload)
+	}
+	return n.inInputs, n.inPrefers, n.inStrongs, n.inOpinions
+}
+
+func (n *Node) resetScratch() {
+	n.inInputs.Reset()
+	n.inPrefers.Reset()
+	n.inStrongs.Reset()
+	clear(n.inOpinions)
+}
+
+// absorbOne folds one classified message into the per-round scratch.
+func (n *Node) absorbOne(from ids.ID, w Wire) {
+	switch w.Kind {
+	case wInit:
+		n.core.AbsorbInit(from)
+	case wEcho:
+		n.core.AbsorbEcho(from, w.P)
+	case wOpinion:
+		if _, dup := n.inOpinions[from]; !dup {
+			n.inOpinions[from] = w.X
+		}
+	case wInput:
+		n.inInputs.Add(w.X, from)
+	case wPrefer:
+		n.inPrefers.Add(w.X, from)
+	case wStrong:
+		n.inStrongs.Add(w.X, from)
+	}
 }
 
 // substitute applies the Algorithm 3 caption rule: every member from

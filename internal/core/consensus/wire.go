@@ -1,0 +1,121 @@
+package consensus
+
+import (
+	"idonly/internal/core/rotor"
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// Wire is the closed union of Algorithm 3's message alphabet — the
+// three consensus kinds plus the rotor-coordinator kinds the protocol
+// rides on — as one concrete value struct for the monomorphized
+// runner. The Kind discriminates; wrap is canonical (unused fields are
+// zero for a kind), so Wire equality is payload equality and the typed
+// duplicate filter matches the reference's (ordinal, key bytes)
+// identity. Sort keys and ordinals delegate to the wrapped types, so
+// both planes render identical bytes; Wire stays out of the
+// internal/sortkeys registry for exactly that reason.
+type Wire struct {
+	Kind uint8
+	P    ids.ID  // rotor.Echo relay target
+	X    float64 // opinion/input/prefer/strongprefer value
+}
+
+// Wire kinds.
+const (
+	wInit uint8 = iota + 1
+	wEcho
+	wOpinion
+	wInput
+	wPrefer
+	wStrong
+)
+
+// AppendSortKey implements sim.SortKeyer by delegation.
+func (w Wire) AppendSortKey(dst []byte) []byte {
+	switch w.Kind {
+	case wInit:
+		return rotor.Init{}.AppendSortKey(dst)
+	case wEcho:
+		return rotor.Echo{P: w.P}.AppendSortKey(dst)
+	case wOpinion:
+		return rotor.Opinion{X: w.X}.AppendSortKey(dst)
+	case wInput:
+		return Input{X: w.X}.AppendSortKey(dst)
+	case wPrefer:
+		return Prefer{X: w.X}.AppendSortKey(dst)
+	default:
+		return StrongPrefer{X: w.X}.AppendSortKey(dst)
+	}
+}
+
+// SortKeyOrdinal implements sim.SortKeyer by delegation.
+func (w Wire) SortKeyOrdinal() uint32 {
+	switch w.Kind {
+	case wInit:
+		return rotor.Init{}.SortKeyOrdinal()
+	case wEcho:
+		return rotor.Echo{}.SortKeyOrdinal()
+	case wOpinion:
+		return rotor.Opinion{}.SortKeyOrdinal()
+	case wInput:
+		return ordInput
+	case wPrefer:
+		return ordPrefer
+	default:
+		return ordStrongPrefer
+	}
+}
+
+// wrap converts a boxed payload into the union; ok is false outside
+// the alphabet (e.g. chaos junk — membership noise both planes treat
+// identically: sender counted, payload unclassified).
+func wrap(p any) (Wire, bool) {
+	switch p := p.(type) {
+	case rotor.Init:
+		return Wire{Kind: wInit}, true
+	case rotor.Echo:
+		return Wire{Kind: wEcho, P: p.P}, true
+	case rotor.Opinion:
+		return Wire{Kind: wOpinion, X: p.X}, true
+	case Input:
+		return Wire{Kind: wInput, X: p.X}, true
+	case Prefer:
+		return Wire{Kind: wPrefer, X: p.X}, true
+	case StrongPrefer:
+		return Wire{Kind: wStrong, X: p.X}, true
+	}
+	return Wire{}, false
+}
+
+// unwrap restores the boxed payload wrap consumed.
+func (w Wire) unwrap() any {
+	switch w.Kind {
+	case wInit:
+		return rotor.Init{}
+	case wEcho:
+		return rotor.Echo{P: w.P}
+	case wOpinion:
+		return rotor.Opinion{X: w.X}
+	case wInput:
+		return Input{X: w.X}
+	case wPrefer:
+		return Prefer{X: w.X}
+	default:
+		return StrongPrefer{X: w.X}
+	}
+}
+
+// boxed renders one stepCore event for the interface plane.
+func (e consEvent) boxed() any { return e.wire().unwrap() }
+
+// wire renders one stepCore event for the typed plane.
+func (e consEvent) wire() Wire { return Wire{Kind: e.kind, P: e.p, X: e.x} }
+
+// WireCodec returns the sim.Codec for the consensus union.
+func WireCodec() sim.Codec[Wire] {
+	return sim.Codec[Wire]{
+		Wrap:   wrap,
+		Unwrap: func(w Wire) any { return w.unwrap() },
+	}
+}

@@ -64,9 +64,11 @@ type Node struct {
 	accepted map[Key]int            // key -> round of acceptance
 	echoed   map[Key]bool           // keys for which the round-2 direct echo fired
 
-	directScratch []Key      // per-round direct-initials scratch, reused
-	keyScratch    []Key      // per-round echo-key scratch, reused
-	sends         []sim.Send // backs Step's return value, reused across rounds
+	directScratch []Key             // per-round direct-initials scratch, reused
+	keyScratch    []Key             // per-round echo-key scratch, reused
+	evScratch     []outEvent        // backs stepCore's return value, reused
+	sends         []sim.Send        // backs Step's return value, reused across rounds
+	wireSends     []sim.SendT[Wire] // backs StepTyped's return value, reused
 }
 
 // New returns a node. If source is true the node broadcasts (m, id) in
@@ -110,43 +112,49 @@ func (n *Node) AcceptedKeys() map[Key]int {
 // NV returns the node's current nv (distinct nodes heard from).
 func (n *Node) NV() int { return n.senders.Len() }
 
-// Step implements sim.Process and follows Algorithm 1 line by line.
-func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
-	// Every received message counts its sender toward nv, and every
-	// echo accumulates a witness, regardless of the round.
-	directInitials := n.directScratch[:0]
-	for _, msg := range inbox {
-		n.senders.Add(msg.From)
-		switch p := msg.Payload.(type) {
-		case Initial:
-			// "Received (m, s) from s": the initial message is only
-			// believed when it arrives directly from its claimed source
-			// (the network stamps senders, so this cannot be forged).
-			if msg.From == p.S {
-				directInitials = append(directInitials, Key{M: p.M, S: p.S})
-			}
-		case Echo:
-			n.echoes.Add(Key{M: p.M, S: p.S}, msg.From)
-		case Present:
-			// membership signal only
+// absorbOne handles one classified message. The sender was already
+// counted toward nv by the caller; payloads outside the wire union
+// never reach here (both planes drop them before classification).
+func (n *Node) absorbOne(from ids.ID, w Wire) {
+	switch w.Kind {
+	case wInitial:
+		// "Received (m, s) from s": the initial message is only
+		// believed when it arrives directly from its claimed source
+		// (the network stamps senders, so this cannot be forged).
+		if from == w.S {
+			n.directScratch = append(n.directScratch, Key{M: w.M, S: w.S})
 		}
+	case wEcho:
+		n.echoes.Add(Key{M: w.M, S: w.S}, from)
+	case wPresent:
+		// membership signal only
 	}
+}
 
-	n.directScratch = directInitials
+// outEvent is one send decided by stepCore, rendered by the plane
+// adapters (Step boxes it, StepTyped wraps it). Every send of
+// Algorithm 1 is a broadcast.
+type outEvent struct {
+	kind uint8 // a w* wire kind
+	key  Key
+}
 
-	out := n.sends[:0]
+// stepCore runs one round of Algorithm 1 against the absorbed state
+// and returns the broadcasts to emit, in node-owned scratch.
+func (n *Node) stepCore(round int) []outEvent {
+	evs := n.evScratch[:0]
 	switch {
 	case round == 1: // Round 1: source broadcasts (m, s); others Present.
 		if n.source {
-			out = append(out, sim.BroadcastPayload(Initial{M: n.m, S: n.id}))
+			evs = append(evs, outEvent{kind: wInitial, key: Key{M: n.m, S: n.id}})
 		} else {
-			out = append(out, sim.BroadcastPayload(Present{}))
+			evs = append(evs, outEvent{kind: wPresent})
 		}
 	case round == 2: // Round 2: echo the initial message if received from s.
-		for _, k := range directInitials {
+		for _, k := range n.directScratch {
 			if !n.echoed[k] {
 				n.echoed[k] = true
-				out = append(out, sim.BroadcastPayload(Echo{M: k.M, S: k.S}))
+				evs = append(evs, outEvent{kind: wEcho, key: k})
 			}
 		}
 	default: // Rounds 3..∞: threshold echo and accept.
@@ -158,14 +166,48 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 				// Line 13: re-broadcast echo while not yet accepted (the
 				// pseudocode re-sends each round; receivers deduplicate
 				// by distinct sender, so this is idempotent).
-				out = append(out, sim.BroadcastPayload(Echo{M: k.M, S: k.S}))
+				evs = append(evs, outEvent{kind: wEcho, key: k})
 			}
 			if quorum.AtLeastTwoThirds(count, nv) && !hasKey(n.accepted, k) {
 				n.accepted[k] = round
 			}
 		}
 	}
+	n.evScratch = evs
+	return evs
+}
+
+// Step implements sim.Process and follows Algorithm 1 line by line.
+func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
+	// Every received message counts its sender toward nv, and every
+	// echo accumulates a witness, regardless of the round.
+	n.directScratch = n.directScratch[:0]
+	for _, msg := range inbox {
+		n.senders.Add(msg.From)
+		if w, ok := wrap(msg.Payload); ok {
+			n.absorbOne(msg.From, w)
+		}
+	}
+	out := n.sends[:0]
+	for _, e := range n.stepCore(round) {
+		out = append(out, sim.BroadcastPayload(e.boxed()))
+	}
 	n.sends = out
+	return out
+}
+
+// StepTyped implements sim.ProcessT[Wire]; same schedule as Step.
+func (n *Node) StepTyped(round int, inbox []sim.MsgT[Wire]) []sim.SendT[Wire] {
+	n.directScratch = n.directScratch[:0]
+	for _, msg := range inbox {
+		n.senders.Add(msg.From)
+		n.absorbOne(msg.From, msg.Payload)
+	}
+	out := n.wireSends[:0]
+	for _, e := range n.stepCore(round) {
+		out = append(out, sim.BroadcastT(e.wire()))
+	}
+	n.wireSends = out
 	return out
 }
 

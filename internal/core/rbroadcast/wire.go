@@ -1,0 +1,114 @@
+package rbroadcast
+
+import (
+	"idonly/internal/ids"
+	"idonly/internal/sim"
+)
+
+// Wire is the closed union of Algorithm 1's message alphabet — the
+// concrete message type the monomorphized runner carries, so the hot
+// loop never boxes a payload. The Kind discriminates; unused fields
+// are always zero for a kind (wrap is canonical), so Wire equality is
+// payload equality and the typed duplicate filter matches the
+// reference filter's (ordinal, key bytes) identity.
+//
+// Wire delegates its sort key to the wrapped payload type, so the
+// rendered bytes — and with them inbox order, trace digests and
+// canonical reports — are identical on both planes. It deliberately
+// stays out of the internal/sortkeys registry: its ordinals are the
+// delegated originals, not a fresh range.
+type Wire struct {
+	Kind uint8
+	M    string
+	S    ids.ID
+}
+
+// Wire kinds.
+const (
+	wInitial uint8 = iota + 1
+	wPresent
+	wEcho
+)
+
+// AppendSortKey implements sim.SortKeyer by delegation.
+func (w Wire) AppendSortKey(dst []byte) []byte {
+	switch w.Kind {
+	case wInitial:
+		return Initial{M: w.M, S: w.S}.AppendSortKey(dst)
+	case wPresent:
+		return Present{}.AppendSortKey(dst)
+	default:
+		return Echo{M: w.M, S: w.S}.AppendSortKey(dst)
+	}
+}
+
+// SortKeyOrdinal implements sim.SortKeyer by delegation.
+func (w Wire) SortKeyOrdinal() uint32 {
+	switch w.Kind {
+	case wInitial:
+		return ordInitial
+	case wPresent:
+		return ordPresent
+	default:
+		return ordEcho
+	}
+}
+
+// wrap converts a boxed payload into the union; ok is false outside
+// the alphabet (unknown payloads are membership noise both planes
+// ignore — the reference Step's type switch had no default case).
+func wrap(p any) (Wire, bool) {
+	switch p := p.(type) {
+	case Initial:
+		return Wire{Kind: wInitial, M: p.M, S: p.S}, true
+	case Present:
+		return Wire{Kind: wPresent}, true
+	case Echo:
+		return Wire{Kind: wEcho, M: p.M, S: p.S}, true
+	}
+	return Wire{}, false
+}
+
+// unwrap restores the boxed payload wrap consumed.
+func (w Wire) unwrap() any {
+	switch w.Kind {
+	case wInitial:
+		return Initial{M: w.M, S: w.S}
+	case wPresent:
+		return Present{}
+	default:
+		return Echo{M: w.M, S: w.S}
+	}
+}
+
+// boxed renders one stepCore event for the interface plane.
+func (e outEvent) boxed() any {
+	switch e.kind {
+	case wInitial:
+		return Initial{M: e.key.M, S: e.key.S}
+	case wPresent:
+		return Present{}
+	default:
+		return Echo{M: e.key.M, S: e.key.S}
+	}
+}
+
+// wire renders one stepCore event for the typed plane.
+func (e outEvent) wire() Wire {
+	switch e.kind {
+	case wInitial:
+		return Wire{Kind: wInitial, M: e.key.M, S: e.key.S}
+	case wPresent:
+		return Wire{Kind: wPresent}
+	default:
+		return Wire{Kind: wEcho, M: e.key.M, S: e.key.S}
+	}
+}
+
+// WireCodec returns the sim.Codec for the rbroadcast union.
+func WireCodec() sim.Codec[Wire] {
+	return sim.Codec[Wire]{
+		Wrap:   wrap,
+		Unwrap: func(w Wire) any { return w.unwrap() },
+	}
+}

@@ -1,0 +1,39 @@
+package engine
+
+// Fast-path eligibility: when a scenario runs on the monomorphized
+// sim.TypedRunner instead of the interface-based reference Runner.
+//
+// The typed runner trades generality for a stenciled hot loop: it
+// carries one concrete wire type per protocol, so it cannot host
+// membership churn (joins/leaves rebuild node slots mid-run) and it
+// panics on adversary payloads outside the protocol's wire union. The
+// predicate below therefore admits exactly the combinations that are
+// proven safe, and everything else — chaos fuzzing, churned cells,
+// protocols without a typed plane — falls back to the reference
+// runner. Selection never changes a result: the typed golden-trace
+// tests (internal/sim) and TestFastPathMatchesReference pin the two
+// planes byte-equal, which is why NoFastPath and SimWorkers share the
+// same canonical-report exclusion.
+
+// fastPath reports whether the (defaults-resolved) scenario may run on
+// the typed runner. buildProtocol must also have provided a typed
+// closure; run() checks both.
+func (s Scenario) fastPath() bool {
+	if s.NoFastPath || s.Churn != nil {
+		return false
+	}
+	switch s.Adversary {
+	case AdvNone, AdvSilent, AdvSplit, AdvReplay:
+		// Silent sends nothing; Replay re-sends received wire values;
+		// the split attacks emit protocol payloads (RBForgeSource,
+		// ConsSplit) — all inside the wire unions. Chaos fuzzes with
+		// arbitrary junk types the typed plane cannot carry.
+	default:
+		return false
+	}
+	switch s.Protocol {
+	case ProtoRBroadcast, ProtoConsensus, ProtoRing:
+		return true
+	}
+	return false
+}

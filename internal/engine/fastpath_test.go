@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFastPathEligibility(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want bool
+	}{
+		{"rbroadcast/none", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvNone, N: 7}, true},
+		{"rbroadcast/silent", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvSilent, N: 7, F: 2}, true},
+		{"rbroadcast/split", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvSplit, N: 7, F: 2}, true},
+		{"rbroadcast/replay", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvReplay, N: 7, F: 2}, true},
+		{"consensus/split", Scenario{Protocol: ProtoConsensus, Adversary: AdvSplit, N: 7, F: 2}, true},
+		{"ring/none", Scenario{Protocol: ProtoRing, Adversary: AdvNone, N: 100}, true},
+		// Chaos fuzzes with payloads outside the wire unions.
+		{"rbroadcast/chaos", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvChaos, N: 7, F: 2}, false},
+		// No typed plane for the remaining protocols.
+		{"rotor/silent", Scenario{Protocol: ProtoRotor, Adversary: AdvSilent, N: 7, F: 2}, false},
+		{"dynamic/silent", Scenario{Protocol: ProtoDynamic, Adversary: AdvSilent, N: 7, F: 2}, false},
+		// Churn rebuilds membership mid-run; the typed plane is static.
+		{"churned", Scenario{Protocol: ProtoConsensus, Adversary: AdvSilent, N: 7, F: 2,
+			Churn: &Churn{FaultyLeaves: 1}}, false},
+		// Explicit opt-out.
+		{"forced-off", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvNone, N: 7, NoFastPath: true}, false},
+		// A zero churn spec resolves to nil and stays eligible.
+		{"zero-churn", Scenario{Protocol: ProtoRBroadcast, Adversary: AdvNone, N: 7, Churn: &Churn{}}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.s.withDefaults().fastPath(); got != tc.want {
+			t.Errorf("%s: fastPath() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// eligibleSpecs is every fast-path protocol crossed with every
+// fast-path adversary at two sizes and three seeds.
+func eligibleSpecs() []Scenario {
+	var specs []Scenario
+	add := func(proto string, advs []string, sizes []int) {
+		for _, adv := range advs {
+			for _, n := range sizes {
+				f := (n - 1) / 3
+				if adv == AdvNone {
+					f = 0
+				}
+				for seed := uint64(1); seed <= 3; seed++ {
+					specs = append(specs, Scenario{Protocol: proto, Adversary: adv, N: n, F: f, Seed: seed})
+				}
+			}
+		}
+	}
+	all := []string{AdvNone, AdvSilent, AdvSplit, AdvReplay}
+	add(ProtoRBroadcast, all, []int{7, 14})
+	add(ProtoConsensus, all, []int{7, 14})
+	add(ProtoRing, []string{AdvNone, AdvSilent, AdvReplay}, []int{14, 50})
+	return specs
+}
+
+// TestFastPathMatchesReference pins the whole point of the fast path:
+// for every eligible cell the canonical report bytes — results, digests,
+// metrics, aggregates — are identical whether the scenario ran on the
+// monomorphized runner, the reference runner, or the sharded variants
+// of either.
+func TestFastPathMatchesReference(t *testing.T) {
+	specs := eligibleSpecs()
+	for _, s := range specs {
+		if !s.withDefaults().fastPath() {
+			t.Fatalf("spec %+v is not fast-path eligible; fix eligibleSpecs", s)
+		}
+	}
+	fast := RunAll(specs, Options{Workers: 4, Grid: "fastpath"})
+	if errs := fast.Errors(); len(errs) != 0 {
+		t.Fatalf("fast path produced %d errors, first: %s: %s", len(errs), errs[0].Scenario.Name, errs[0].Err)
+	}
+
+	ref := make([]Scenario, len(specs))
+	copy(ref, specs)
+	for i := range ref {
+		ref[i].NoFastPath = true
+	}
+	slow := RunAll(ref, Options{Workers: 4, Grid: "fastpath"})
+	if !bytes.Equal(mustCanonical(t, fast), mustCanonical(t, slow)) {
+		t.Fatal("canonical reports differ between the fast path and the reference runner")
+	}
+
+	sharded := make([]Scenario, len(specs))
+	copy(sharded, specs)
+	for i := range sharded {
+		sharded[i].SimWorkers = 4
+	}
+	shr := RunAll(sharded, Options{Workers: 4, Grid: "fastpath"})
+	if !bytes.Equal(mustCanonical(t, fast), mustCanonical(t, shr)) {
+		t.Fatal("canonical reports differ between sequential and sharded fast path")
+	}
+}
+
+// TestScaleSmokeFastVsReference is the large-n smoke test CI runs: the
+// ring workload at n = 10k, fast path against reference, sequential
+// against sharded, all four canonical-byte identical.
+func TestScaleSmokeFastVsReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n smoke test")
+	}
+	base := Scenario{Protocol: ProtoRing, Adversary: AdvNone, N: 10000, Seed: 1}
+	variants := []Scenario{
+		base,
+		{Protocol: ProtoRing, Adversary: AdvNone, N: 10000, Seed: 1, NoFastPath: true},
+		{Protocol: ProtoRing, Adversary: AdvNone, N: 10000, Seed: 1, SimWorkers: 4},
+		{Protocol: ProtoRing, Adversary: AdvNone, N: 10000, Seed: 1, NoFastPath: true, SimWorkers: 4},
+	}
+	var want []byte
+	for i, s := range variants {
+		rep := RunAll([]Scenario{s}, Options{Workers: 1, Grid: "scale-smoke"})
+		if errs := rep.Errors(); len(errs) != 0 {
+			t.Fatalf("variant %d failed: %s", i, errs[0].Err)
+		}
+		res := rep.Results[0]
+		if !res.AllDecided {
+			t.Fatalf("variant %d: ring did not decide everywhere: %+v", i, res)
+		}
+		got := mustCanonical(t, rep)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("variant %d (noFastPath=%v simWorkers=%d) diverged from the fast path",
+				i, s.NoFastPath, s.SimWorkers)
+		}
+	}
+}
+
+func TestScalePresetGrid(t *testing.T) {
+	g, err := PresetGrid("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := g.Scenarios()
+	if len(specs) != 3 {
+		t.Fatalf("scale grid has %d scenarios, want 3", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("scale scenario invalid: %v", err)
+		}
+		if !s.withDefaults().fastPath() {
+			t.Fatalf("scale scenario %q is not fast-path eligible", s.withDefaults().Name)
+		}
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	ok := Scenario{Protocol: ProtoRing, Adversary: AdvNone, N: 1000}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("ring/none should validate: %v", err)
+	}
+	bad := Scenario{Protocol: ProtoRing, Adversary: AdvSplit, N: 1000, F: 333}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ring/split should be rejected (no value-targeting attack defined)")
+	}
+	// Ring stays out of Protocols(): the preset grids and the pinned
+	// every-cell coverage iterate that list and must not change.
+	for _, p := range Protocols() {
+		if p == ProtoRing {
+			t.Fatal("ProtoRing must not appear in Protocols()")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"idonly/internal/core/dynamic"
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/ring"
 	"idonly/internal/core/rotor"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
@@ -26,6 +27,16 @@ const (
 	ProtoApprox     = "approx"     // Algorithm 4, iterated approximate agreement
 	ProtoParallel   = "parallel"   // Algorithm 5, parallel consensus
 	ProtoDynamic    = "dynamic"    // Algorithm 6, total ordering in a dynamic network
+
+	// ProtoRing is the scale-frontier workload (internal/core/ring):
+	// min-id gossip over a sparse overlay, n·⌈log₂ n⌉ messages per
+	// round instead of Θ(n²), so n = 100k rounds stay tractable. It is
+	// a synthetic probe, not one of the paper's algorithms, so it is
+	// deliberately NOT in Protocols(): the preset grids, the
+	// every-cell coverage test and the pinned grid sizes all iterate
+	// Protocols() and must not change. Ring scenarios come from the
+	// "scale" preset or explicit specs.
+	ProtoRing = "ring"
 )
 
 // Adversary names accepted by Scenario.Adversary. "split" resolves to
@@ -202,6 +213,13 @@ type Scenario struct {
 	// results (the sim merges outboxes in increasing-id order), so it is
 	// excluded from the canonical report.
 	SimWorkers int `json:"-"`
+
+	// NoFastPath forces the interface-based reference runner even when
+	// the scenario is eligible for the monomorphized fast path
+	// (fastpath.go). Like SimWorkers it selects an execution strategy,
+	// never a result — the fast path is proven bit-identical — so it is
+	// excluded from the canonical report and the scenario digest.
+	NoFastPath bool `json:"-"`
 }
 
 // withDefaults resolves zero fields to their protocol defaults.
@@ -229,6 +247,9 @@ func (s Scenario) withDefaults() Scenario {
 			// Long enough for the first sessions to clear the Theorem 6
 			// finality bound (5|S|/2 + 2) and grow a chain.
 			s.MaxRounds = 5*s.N/2 + 25
+		case ProtoRing:
+			// The flood horizon plus slack for the decided-stop round.
+			s.MaxRounds = ring.Horizon(s.N) + 2
 		default:
 			s.MaxRounds = 60 * (s.F + 2)
 		}
@@ -246,7 +267,7 @@ func (s Scenario) withDefaults() Scenario {
 func (s Scenario) Validate() error {
 	s = s.withDefaults()
 	switch s.Protocol {
-	case ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel, ProtoDynamic:
+	case ProtoRBroadcast, ProtoRotor, ProtoConsensus, ProtoApprox, ProtoParallel, ProtoDynamic, ProtoRing:
 	default:
 		return fmt.Errorf("engine: unknown protocol %q", s.Protocol)
 	}
@@ -254,6 +275,9 @@ func (s Scenario) Validate() error {
 	case AdvNone, AdvSilent, AdvSplit, AdvChaos, AdvReplay:
 	default:
 		return fmt.Errorf("engine: unknown adversary %q", s.Adversary)
+	}
+	if s.Protocol == ProtoRing && s.Adversary == AdvSplit {
+		return fmt.Errorf("engine: scenario %q: ring has no value-targeting split attack", s.Name)
 	}
 	if s.N < 1 {
 		return fmt.Errorf("engine: scenario %q has n = %d", s.Name, s.N)
@@ -333,45 +357,65 @@ func (s Scenario) run(ph *phases) (res Result) {
 	if len(faulty) > 0 {
 		adv = buildAdversary(s, founders, correct, rng)
 	}
-	run := sim.NewRunner(sim.Config{
+	cfg := sim.Config{
 		MaxRounds:          s.MaxRounds,
 		StopWhenAllDecided: pr.stopDecided,
 		Workers:            s.SimWorkers,
-	}, pr.procs, early, adv)
+	}
 
-	// Compile the churn plan onto the runner's membership hooks. Leaves
-	// were already compiled into the leavers' own configuration (the
-	// dynamic protocol's graceful-departure discipline, sim.Leaver);
-	// faulty removals fire between rounds through the stop callback
-	// (membership must not change mid-round).
-	for i, round := range plan.joinRounds {
-		run.ScheduleJoin(round, pr.join(joiners[i]))
-	}
-	for i, round := range plan.faultyJoins {
-		run.ScheduleFaultyJoin(round, late[i])
-	}
-	var stop func(int) bool
-	if len(plan.faultyLeaves) > 0 {
-		removals := make(map[int][]ids.ID, len(plan.faultyLeaves))
-		for i, round := range plan.faultyLeaves {
-			removals[round] = append(removals[round], early[i])
+	var m sim.Metrics
+	if pr.typed != nil && s.fastPath() {
+		// Monomorphized fast path: the protocol provided a typed runner
+		// and the scenario is eligible (static membership, wire-union
+		// adversary). Bit-identical to the branch below by the typed
+		// golden-trace tests; TestFastPathMatchesReference pins the
+		// canonical report bytes.
+		var roundsStart time.Time
+		if ph != nil {
+			roundsStart = time.Now()
+			ph.buildNS = roundsStart.Sub(start).Nanoseconds()
 		}
-		stop = func(round int) bool {
-			for _, id := range removals[round] {
-				run.RemoveFaulty(id)
+		m = pr.typed(cfg, early, adv)
+		if ph != nil {
+			ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+		}
+	} else {
+		run := sim.NewRunner(cfg, pr.procs, early, adv)
+
+		// Compile the churn plan onto the runner's membership hooks. Leaves
+		// were already compiled into the leavers' own configuration (the
+		// dynamic protocol's graceful-departure discipline, sim.Leaver);
+		// faulty removals fire between rounds through the stop callback
+		// (membership must not change mid-round).
+		for i, round := range plan.joinRounds {
+			run.ScheduleJoin(round, pr.join(joiners[i]))
+		}
+		for i, round := range plan.faultyJoins {
+			run.ScheduleFaultyJoin(round, late[i])
+		}
+		var stop func(int) bool
+		if len(plan.faultyLeaves) > 0 {
+			removals := make(map[int][]ids.ID, len(plan.faultyLeaves))
+			for i, round := range plan.faultyLeaves {
+				removals[round] = append(removals[round], early[i])
 			}
-			delete(removals, round)
-			return false
+			stop = func(round int) bool {
+				for _, id := range removals[round] {
+					run.RemoveFaulty(id)
+				}
+				delete(removals, round)
+				return false
+			}
 		}
-	}
-	var roundsStart time.Time
-	if ph != nil {
-		roundsStart = time.Now()
-		ph.buildNS = roundsStart.Sub(start).Nanoseconds()
-	}
-	m := run.Run(stop)
-	if ph != nil {
-		ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+		var roundsStart time.Time
+		if ph != nil {
+			roundsStart = time.Now()
+			ph.buildNS = roundsStart.Sub(start).Nanoseconds()
+		}
+		m = run.Run(stop)
+		if ph != nil {
+			ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+		}
 	}
 
 	res.Rounds = m.Rounds
@@ -423,6 +467,12 @@ type protocolRun struct {
 	decided     func() (done, total int, na bool)
 	finish      func(res *Result)
 	join        func(id ids.ID) sim.Process
+
+	// typed runs the same processes on the monomorphized fast path
+	// (sim.TypedRunner over the protocol's wire union); nil when the
+	// protocol has no typed plane. Only consulted when the scenario is
+	// eligible (Scenario.fastPath).
+	typed func(cfg sim.Config, faulty []ids.ID, adv sim.Adversary) sim.Metrics
 }
 
 // buildProtocol constructs the correct processes for the scenario. The
@@ -440,7 +490,9 @@ func buildProtocol(s Scenario, correct, founders []ids.ID, plan churnPlan) proto
 			procs = append(procs, nd)
 		}
 		src := correct[0]
-		return protocolRun{procs: procs, digest: func() string {
+		return protocolRun{procs: procs, typed: func(cfg sim.Config, faulty []ids.ID, adv sim.Adversary) sim.Metrics {
+			return sim.NewTypedRunner(cfg, nodes, faulty, adv, rbroadcast.WireCodec()).Run(nil)
+		}, digest: func() string {
 			accepted, maxRound, forged := 0, 0, 0
 			for _, nd := range nodes {
 				if r, ok := nd.Accepted("m", src); ok {
@@ -557,7 +609,9 @@ func buildProtocol(s Scenario, correct, founders []ids.ID, plan churnPlan) proto
 			nodes = append(nodes, nd)
 			procs = append(procs, nd)
 		}
-		return protocolRun{procs: procs, stopDecided: true, digest: func() string {
+		return protocolRun{procs: procs, stopDecided: true, typed: func(cfg sim.Config, faulty []ids.ID, adv sim.Adversary) sim.Metrics {
+			return sim.NewTypedRunner(cfg, nodes, faulty, adv, consensus.WireCodec()).Run(nil)
+		}, digest: func() string {
 			phases, decidedRound := 0, 0
 			for _, nd := range nodes {
 				if !nd.Decided() {
@@ -634,6 +688,36 @@ func buildProtocol(s Scenario, correct, founders []ids.ID, plan churnPlan) proto
 				parts = append(parts, fmt.Sprintf("%d=%v", k, out[parallel.PairID(k)]))
 			}
 			return "pairs{" + strings.Join(parts, ",") + "}"
+		}}
+
+	case ProtoRing:
+		// The overlay spans the correct nodes only (ids.Sparse sorts, so
+		// correct[0] is the true minimum): faulty nodes sit outside the
+		// ring and can only inject, never partition it, which keeps the
+		// log-round convergence bound intact under every adversary that
+		// does not forge probes.
+		var nodes []*ring.Node
+		var procs []sim.Process
+		horizon := ring.Horizon(len(correct))
+		for i, id := range correct {
+			nd := ring.New(id, ring.Successors(correct, i), horizon)
+			nodes = append(nodes, nd)
+			procs = append(procs, nd)
+		}
+		want := correct[0]
+		return protocolRun{procs: procs, stopDecided: true, typed: func(cfg sim.Config, faulty []ids.ID, adv sim.Adversary) sim.Metrics {
+			return sim.NewTypedRunner(cfg, nodes, faulty, adv, ring.WireCodec()).Run(nil)
+		}, digest: func() string {
+			converged := 0
+			for _, nd := range nodes {
+				if nd.Min() == want {
+					converged++
+				}
+			}
+			if s.Adversary == AdvNone && converged != len(nodes) {
+				panic(fmt.Sprintf("engine: ring flood incomplete (%d/%d at min=%d)", converged, len(nodes), want))
+			}
+			return fmt.Sprintf("min=%d converged=%d/%d", want, converged, len(nodes))
 		}}
 	}
 	panic("engine: buildProtocol on unvalidated scenario")
@@ -757,10 +841,20 @@ func presetChurns() []Churn {
 }
 
 // PresetGrid returns one of the named benchmark grids: "small" (288
-// scenarios), "medium" (864) or "large" (1920). Every grid crosses a
-// static column against a churn column (see presetChurns).
+// scenarios), "medium" (864) or "large" (1920), each crossing a static
+// column against a churn column (see presetChurns) — or "scale" (3
+// scenarios), the ring workload at n = 1k/10k/100k that probes the
+// simulator's scale frontier on the monomorphized fast path.
 func PresetGrid(name string) (Grid, error) {
 	switch name {
+	case "scale":
+		return Grid{
+			Name:        "scale",
+			Protocols:   []string{ProtoRing},
+			Adversaries: []string{AdvNone},
+			Sizes:       []int{1000, 10000, 100000},
+			Seeds:       seedRange(1),
+		}, nil
 	case "small":
 		return Grid{
 			Name:        "small",
@@ -789,5 +883,5 @@ func PresetGrid(name string) (Grid, error) {
 			Churns:      presetChurns(),
 		}, nil
 	}
-	return Grid{}, fmt.Errorf("engine: unknown grid %q (want small, medium or large)", name)
+	return Grid{}, fmt.Errorf("engine: unknown grid %q (want small, medium, large or scale)", name)
 }

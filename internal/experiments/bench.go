@@ -26,6 +26,7 @@ import (
 	"idonly/internal/core/dynamic"
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/ring"
 	"idonly/internal/core/rotor"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
@@ -56,29 +57,65 @@ func BenchWorkloads() []BenchWorkload {
 		{ID: "E8", Name: "parallel consensus k=32", Run: benchE8},
 		{ID: "E9", Name: "dynamic ordering 40 rounds churn", Run: benchE9},
 		{ID: "E10", Name: "consensus staircase substitution", Run: benchE10},
+		{ID: "S1", Name: "ring min-id flood n=1k (typed)", Run: benchRingScale(1_000)},
+		{ID: "S2", Name: "ring min-id flood n=10k (typed)", Run: benchRingScale(10_000)},
+		{ID: "S3", Name: "ring min-id flood n=100k (typed)", Run: benchRingScale(100_000)},
 	}
 }
+
+// benchRingScale is the scale-frontier workload family: the ring
+// min-id flood on the monomorphized fast path at n = 1k/10k/100k, all
+// nodes correct, exactly as the engine's "scale" preset grid schedules
+// it. The sparse overlay (⌈log₂ n⌉ successors per node) makes the
+// per-round traffic n·⌈log₂ n⌉ unicasts — message-heavy without the
+// quadratic blowup of a broadcast protocol, which is what lets the
+// family reach 100k nodes at all.
+func benchRingScale(n int) func() sim.Metrics {
+	return func() sim.Metrics {
+		rng := ids.NewRand(21)
+		all := ids.Sparse(rng, n)
+		horizon := ring.Horizon(n)
+		nodes := make([]*ring.Node, n)
+		for i, id := range all {
+			nodes[i] = ring.New(id, ring.Successors(all, i), horizon)
+		}
+		r := sim.NewTypedRunner(sim.Config{MaxRounds: horizon + 2, StopWhenAllDecided: true},
+			nodes, nil, nil, ring.WireCodec())
+		m := r.Run(nil)
+		if len(m.DecidedRound) != n {
+			panic(fmt.Sprintf("ring scale n=%d: only %d/%d decided", n, len(m.DecidedRound), n))
+		}
+		return m
+	}
+}
+
+// E1, E2, E4 and E10 run on the monomorphized fast path
+// (sim.TypedRunner), exactly as the engine would schedule them: their
+// protocol/adversary cells are fast-path eligible, so the snapshot
+// tracks the plane that production sweeps actually use. E3/E5-E9 stay
+// on the reference runner (no typed plane for those protocols), keeping
+// both planes under the perf gate.
 
 func benchE1() sim.Metrics {
 	rng := ids.NewRand(1)
 	all := ids.Sparse(rng, 31)
-	var procs []sim.Process
+	var procs []*rbroadcast.Node
 	for j, id := range all[:21] {
 		procs = append(procs, rbroadcast.New(id, j == 0, "m"))
 	}
-	r := sim.NewRunner(sim.Config{MaxRounds: 6}, procs, all[21:], adversary.Silent{})
+	r := sim.NewTypedRunner(sim.Config{MaxRounds: 6}, procs, all[21:], adversary.Silent{}, rbroadcast.WireCodec())
 	return r.Run(func(round int) bool { return round >= 4 })
 }
 
 func benchE2() sim.Metrics {
 	rng := ids.NewRand(2)
 	all := ids.Sparse(rng, 9) // n = 3f with f = 3
-	var procs []sim.Process
+	var procs []*rbroadcast.Node
 	for _, id := range all[:6] {
 		procs = append(procs, rbroadcast.New(id, false, ""))
 	}
 	adv := adversary.RBForgeSource{FakeM: "forged", FakeS: all[0]}
-	r := sim.NewRunner(sim.Config{MaxRounds: 20}, procs, all[6:], adv)
+	r := sim.NewTypedRunner(sim.Config{MaxRounds: 20}, procs, all[6:], adv, rbroadcast.WireCodec())
 	return r.Run(nil)
 }
 
@@ -105,12 +142,12 @@ func benchE4() sim.Metrics {
 	n := 3*f + 1
 	rng := ids.NewRand(4 + uint64(f))
 	all := ids.Sparse(rng, n)
-	var procs []sim.Process
+	var procs []*consensus.Node
 	for j, id := range all[:n-f] {
 		procs = append(procs, consensus.New(id, float64(j%2)))
 	}
 	adv := adversary.ConsSplit{X1: 0, X2: 1, All: all}
-	r := sim.NewRunner(sim.Config{StopWhenAllDecided: true}, procs, all[n-f:], adv)
+	r := sim.NewTypedRunner(sim.Config{StopWhenAllDecided: true}, procs, all[n-f:], adv, consensus.WireCodec())
 	return r.Run(nil)
 }
 
@@ -197,7 +234,7 @@ func benchE10() sim.Metrics {
 	rng := ids.NewRand(10 + 70)
 	all := ids.Sparse(rng, 7)
 	correct := all[:5]
-	var procs []sim.Process
+	var procs []*consensus.Node
 	for j, id := range correct {
 		x := 1.0
 		if j == len(correct)-1 {
@@ -206,7 +243,7 @@ func benchE10() sim.Metrics {
 		procs = append(procs, consensus.New(id, x))
 	}
 	adv := adversary.ConsStaircase{X: 1, Boost: correct[:3], Lonely: correct[0]}
-	r := sim.NewRunner(sim.Config{MaxRounds: 200, StopWhenAllDecided: true}, procs, all[5:], adv)
+	r := sim.NewTypedRunner(sim.Config{MaxRounds: 200, StopWhenAllDecided: true}, procs, all[5:], adv, consensus.WireCodec())
 	return r.Run(nil)
 }
 
@@ -305,12 +342,29 @@ func ReadBenchSnapshot(r io.Reader) (BenchSnapshot, error) {
 // gate. The flip side is inherent to relative gating: a regression
 // broad enough to move the median partially hides itself; the
 // allocs/op gate and the checked-in snapshots are the absolute
-// record. Workloads present on only one side are ignored: the set may
-// grow over time.
+// record.
+//
+// Coverage is one-sided: a workload present only in cur is ignored
+// (the set may grow over time), but every baseline workload must
+// appear in cur — a silently vanished workload would let a regression
+// hide by deletion, so it fails the gate. Callers measuring a
+// deliberate subset must prune the baseline to that subset first (the
+// bench binary does this for -run).
 func CompareBenchSnapshots(base, cur BenchSnapshot, allocFactor, nsFactor float64) []string {
 	baseline := make(map[string]BenchResult, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.ID] = r
+	}
+	measured := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		measured[r.ID] = true
+	}
+	var failures []string
+	for _, b := range base.Results {
+		if !measured[b.ID] {
+			failures = append(failures, fmt.Sprintf(
+				"%s: baseline workload missing from the current run", b.ID))
+		}
 	}
 	var ratios []float64
 	for _, r := range cur.Results {
@@ -322,7 +376,6 @@ func CompareBenchSnapshots(base, cur BenchSnapshot, allocFactor, nsFactor float6
 	if machine < 1 {
 		machine = 1
 	}
-	var failures []string
 	for _, r := range cur.Results {
 		b, ok := baseline[r.ID]
 		if !ok {

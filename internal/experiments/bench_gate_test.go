@@ -1,0 +1,45 @@
+package experiments
+
+// Semantics of the bench regression gate: baseline workloads must not
+// silently vanish, new workloads may appear, and the allocs/op factor
+// is absolute.
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapOf(ids ...string) BenchSnapshot {
+	s := BenchSnapshot{Schema: BenchSchema}
+	for _, id := range ids {
+		s.Results = append(s.Results, BenchResult{ID: id, NsPerOp: 100, AllocsPerOp: 10})
+	}
+	return s
+}
+
+func TestCompareFailsWhenBaselineWorkloadMissing(t *testing.T) {
+	base := snapOf("E1", "E2", "E3")
+	cur := snapOf("E1", "E3")
+	failures := CompareBenchSnapshots(base, cur, 2.0, 1.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "E2") || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want exactly one missing-workload failure naming E2", failures)
+	}
+}
+
+func TestCompareIgnoresNewWorkloads(t *testing.T) {
+	base := snapOf("E1")
+	cur := snapOf("E1", "S1") // the set may grow over time
+	if failures := CompareBenchSnapshots(base, cur, 2.0, 1.5); len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := snapOf("E1", "E2")
+	cur := snapOf("E1", "E2")
+	cur.Results[1].AllocsPerOp = 25 // 2.5x the baseline's 10
+	failures := CompareBenchSnapshots(base, cur, 2.0, 1.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want exactly one allocs/op failure", failures)
+	}
+}

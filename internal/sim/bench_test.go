@@ -142,7 +142,7 @@ func BenchmarkSortInbox(b *testing.B) {
 // each broadcasting one message to n recipients (n² deliveries), with
 // all pooled buffers warm.
 func BenchmarkStepRound(b *testing.B) {
-	for _, n := range []int{8, 32, 128} {
+	for _, n := range []int{8, 32, 128, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			r := newBenchRunner(n)
 			r.StepRound()
@@ -153,6 +153,184 @@ func BenchmarkStepRound(b *testing.B) {
 				r.StepRound()
 			}
 			b.ReportMetric(float64(n*n), "msgs/round")
+		})
+	}
+}
+
+// ---- Monomorphized-plane counterparts ----------------------------------
+//
+// The benchmarks below run the same workloads through the TypedRunner,
+// so `benchstat` (or eyeballing the CI log) reads the fast path's win
+// directly: same shape, same names modulo the Typed suffix.
+
+// benchCodec is the identity codec for benchPayload.
+var benchCodec = Codec[benchPayload]{
+	Wrap: func(p any) (benchPayload, bool) {
+		v, ok := p.(benchPayload)
+		return v, ok
+	},
+	Unwrap: func(m benchPayload) any { return m },
+}
+
+// benchProcT is benchProc on the typed plane.
+type benchProcT struct {
+	id    ids.ID
+	sends []SendT[benchPayload]
+}
+
+func (p *benchProcT) ID() ids.ID    { return p.id }
+func (p *benchProcT) Decided() bool { return false }
+func (p *benchProcT) Output() any   { return nil }
+func (p *benchProcT) StepTyped(round int, inbox []MsgT[benchPayload]) []SendT[benchPayload] {
+	out := p.sends[:0]
+	out = append(out, BroadcastT(benchPayload{Kind: 1, Value: float64(round)}))
+	p.sends = out
+	return out
+}
+
+func newTypedBenchRunner(n int) *TypedRunner[*benchProcT, benchPayload] {
+	all := ids.Sparse(ids.NewRand(99), n)
+	procs := make([]*benchProcT, n)
+	for i, id := range all {
+		procs[i] = &benchProcT{id: id}
+	}
+	return NewTypedRunner(Config{MaxRounds: 1 << 30}, procs, nil, nil, benchCodec)
+}
+
+// BenchmarkDeliverBroadcastTyped is BenchmarkDeliverBroadcast's typed
+// mode on the monomorphized runner: no interning, no boxing, the
+// duplicate filter keyed on the wire value itself.
+func BenchmarkDeliverBroadcastTyped(b *testing.B) {
+	const batch = 16
+	payloads := make([]SendT[benchPayload], batch)
+	for i := range payloads {
+		payloads[i] = BroadcastT(benchPayload{Kind: i % batch, Value: 1})
+	}
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := newTypedBenchRunner(n)
+			r.StepRound()
+			from := r.idvec[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%batch == 0 && i > 0 {
+					b.StopTimer()
+					r.StepRound()
+					r.StepRound()
+					b.StartTimer()
+				}
+				r.deliver(from, payloads[i%batch])
+			}
+		})
+	}
+}
+
+// BenchmarkStepRoundTyped is BenchmarkStepRound on the typed plane.
+func BenchmarkStepRoundTyped(b *testing.B) {
+	for _, n := range []int{8, 32, 128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := newTypedBenchRunner(n)
+			r.StepRound()
+			r.StepRound()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StepRound()
+			}
+			b.ReportMetric(float64(n*n), "msgs/round")
+		})
+	}
+}
+
+// ---- Scale-frontier shape: sparse unicast overlay ----------------------
+
+// benchSuccessors mirrors the ring overlay (internal/core/ring): slot
+// i's neighbours at power-of-two index distances, n·⌈log₂ n⌉ unicasts
+// per round instead of n² broadcasts — the only delivery shape that
+// stays tractable at n = 10k+.
+func benchSuccessors(all []ids.ID, i int) []ids.ID {
+	n := len(all)
+	var succ []ids.ID
+	for d := 1; d < n; d *= 2 {
+		succ = append(succ, all[(i+d)%n])
+	}
+	return succ
+}
+
+type benchSparseProc struct {
+	id    ids.ID
+	succ  []ids.ID
+	sends []Send
+}
+
+func (p *benchSparseProc) ID() ids.ID    { return p.id }
+func (p *benchSparseProc) Decided() bool { return false }
+func (p *benchSparseProc) Output() any   { return nil }
+func (p *benchSparseProc) Step(round int, inbox []Message) []Send {
+	out := p.sends[:0]
+	for _, s := range p.succ {
+		out = append(out, Unicast(s, benchPayload{Kind: int(p.id % 7), Value: float64(round)}))
+	}
+	p.sends = out
+	return out
+}
+
+type benchSparseProcT struct {
+	id    ids.ID
+	succ  []ids.ID
+	sends []SendT[benchPayload]
+}
+
+func (p *benchSparseProcT) ID() ids.ID    { return p.id }
+func (p *benchSparseProcT) Decided() bool { return false }
+func (p *benchSparseProcT) Output() any   { return nil }
+func (p *benchSparseProcT) StepTyped(round int, inbox []MsgT[benchPayload]) []SendT[benchPayload] {
+	out := p.sends[:0]
+	for _, s := range p.succ {
+		out = append(out, UnicastT(s, benchPayload{Kind: int(p.id % 7), Value: float64(round)}))
+	}
+	p.sends = out
+	return out
+}
+
+// BenchmarkStepRoundSparse measures one steady-state round of the
+// sparse overlay on both planes at scale-frontier sizes.
+func BenchmarkStepRoundSparse(b *testing.B) {
+	for _, n := range []int{1024, 10240} {
+		all := ids.Sparse(ids.NewRand(99), n)
+		msgs := float64(n * len(benchSuccessors(all, 0)))
+
+		b.Run(fmt.Sprintf("ref/n=%d", n), func(b *testing.B) {
+			procs := make([]Process, n)
+			for i, id := range all {
+				procs[i] = &benchSparseProc{id: id, succ: benchSuccessors(all, i)}
+			}
+			r := NewRunner(Config{MaxRounds: 1 << 30}, procs, nil, nil)
+			r.StepRound()
+			r.StepRound()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StepRound()
+			}
+			b.ReportMetric(msgs, "msgs/round")
+		})
+
+		b.Run(fmt.Sprintf("typed/n=%d", n), func(b *testing.B) {
+			procs := make([]*benchSparseProcT, n)
+			for i, id := range all {
+				procs[i] = &benchSparseProcT{id: id, succ: benchSuccessors(all, i)}
+			}
+			r := NewTypedRunner(Config{MaxRounds: 1 << 30}, procs, nil, nil, benchCodec)
+			r.StepRound()
+			r.StepRound()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.StepRound()
+			}
+			b.ReportMetric(msgs, "msgs/round")
 		})
 	}
 }

@@ -1,0 +1,70 @@
+// Scratch-retention bounds: what a flood round may pin, and for how
+// long.
+//
+// The runner's per-round scratch — the double-buffered sort-key arenas,
+// the intern table, the duplicate-filter map — grows to the largest
+// round it ever served and used to stay that size for the rest of the
+// process. For a short-lived `idonly-bench` run that is fine; for a
+// resident `idonly-serve` process a single 100k-node sweep would leave
+// megabytes pinned under every later 7-node run. The gauge below tracks
+// a decaying high-water mark of actual per-round usage, and the round
+// flip releases any scratch whose capacity is far above it.
+//
+// What is deliberately NOT trimmed: the per-node inbox buffers. Their
+// growth is an observable (Metrics.InboxGrows, "stops increasing after
+// warm-up"), and they are slab-allocated per runner, so they are
+// reclaimed wholesale when the run ends.
+package sim
+
+const (
+	// arenaRetainFloor is the arena capacity always retained: trims
+	// below it cost more in re-growth than they save.
+	arenaRetainFloor = 64 << 10 // bytes
+
+	// dedupRetainFloor is the duplicate-filter size (entries) always
+	// retained across rounds.
+	dedupRetainFloor = 1 << 13
+
+	// internRetainMax caps the sort-key intern table. It is monotone by
+	// design (one entry per distinct key per run), so a chaos/flood run
+	// that manufactures unbounded distinct keys is the only way past
+	// the cap — at which point the table is dropped and re-warmed.
+	internRetainMax = 1 << 16
+
+	// scratchSlack is the capacity-to-usage ratio above which scratch
+	// counts as oversized and is released at the next flip.
+	scratchSlack = 4
+)
+
+// scratchGauge tracks a decaying high-water mark of one scratch
+// structure's per-round usage. observe feeds it one round's usage:
+// growth registers immediately, while the mark decays toward quieter
+// rounds by an eighth of the gap per round — so one flood round stops
+// justifying its capacity a few dozen rounds later, but steady traffic
+// never triggers churn.
+type scratchGauge struct {
+	hw int
+}
+
+func (g *scratchGauge) observe(used int) {
+	if used >= g.hw {
+		g.hw = used
+		return
+	}
+	g.hw -= (g.hw - used + 7) / 8
+}
+
+// oversized reports whether a capacity is worth releasing: above the
+// retain floor and more than scratchSlack times the decayed mark.
+func (g *scratchGauge) oversized(capacity, floor int) bool {
+	return capacity > floor && capacity > scratchSlack*g.hw
+}
+
+// retainTarget is the capacity to re-seed after a release: twice the
+// decayed mark, floored.
+func (g *scratchGauge) retainTarget(floor int) int {
+	if t := 2 * g.hw; t > floor {
+		return t
+	}
+	return floor
+}

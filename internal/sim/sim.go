@@ -254,7 +254,15 @@ type Runner struct {
 
 	// dedup is the within-round duplicate filter of every recipient,
 	// cleared (not reallocated) each round; see dedupKey.
-	dedup map[dedupKey]struct{}
+	dedup      map[dedupKey]struct{}
+	dedupAlloc int // entries the live filter map was sized for
+
+	// Scratch-retention gauges (scratch.go): decaying high-water marks
+	// of per-round arena and filter usage, so a flood round's scratch
+	// is released once traffic quiets down instead of staying pinned
+	// for the rest of the process.
+	arenaGauge scratchGauge
+	dedupGauge scratchGauge
 
 	// Pooled shard buffers (Workers > 1); see shard.go.
 	pre    []stepOut
@@ -379,6 +387,7 @@ func (r *Runner) presizeAll() {
 		n.nxt.keys = keySlab[o+c : o+c : o+2*c]
 	}
 	r.dedup = make(map[dedupKey]struct{}, c*len(r.nodes))
+	r.dedupAlloc = c * len(r.nodes)
 }
 
 // presize seeds one joining node's pooled delivery state (the
@@ -502,11 +511,30 @@ func (r *Runner) StepRound() {
 	// backing arrays intact — to receive this round's traffic. The
 	// duplicate filters are cleared in place for the same reason, and
 	// the key arenas flip in lockstep so every keyRef in a cur inbox
-	// points into curArena.
+	// points into curArena. The retention gauges (scratch.go) release
+	// scratch far above the decayed usage mark — only ever the buffer
+	// about to be refilled (nxtArena), never curArena, whose bytes the
+	// live keyRefs still view.
+	r.arenaGauge.observe(len(r.nxtArena))
 	r.curArena, r.nxtArena = r.nxtArena, r.curArena
 	r.nxtArena = r.nxtArena[:0]
-	if len(r.dedup) > 0 {
-		clear(r.dedup)
+	if r.arenaGauge.oversized(cap(r.nxtArena), arenaRetainFloor) {
+		r.nxtArena = make([]byte, 0, r.arenaGauge.retainTarget(arenaRetainFloor))
+	}
+	if len(r.intern) > internRetainMax {
+		r.intern = make(map[string]string, 64)
+	}
+	if used := len(r.dedup); used > 0 || r.dedupAlloc > dedupRetainFloor {
+		r.dedupGauge.observe(used)
+		if r.dedupGauge.oversized(r.dedupAlloc, dedupRetainFloor) {
+			r.dedupAlloc = r.dedupGauge.retainTarget(dedupRetainFloor)
+			r.dedup = make(map[dedupKey]struct{}, r.dedupAlloc)
+		} else if used > 0 {
+			if used > r.dedupAlloc {
+				r.dedupAlloc = used
+			}
+			clear(r.dedup)
+		}
 	}
 	for i := range r.nodes {
 		n := &r.nodes[i]

@@ -66,6 +66,7 @@ const (
 	OrdBaseDynamic    uint32 = 0x0600 // internal/core/dynamic
 	OrdBaseBaseline   uint32 = 0x0700 // internal/baseline
 	OrdBaseAsync      uint32 = 0x0800 // internal/async
+	OrdBaseRing       uint32 = 0x0900 // internal/core/ring
 )
 
 // The Append helpers below centralize how fmt's %v renders the field

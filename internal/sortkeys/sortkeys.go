@@ -16,6 +16,7 @@ import (
 	"idonly/internal/core/dynamic"
 	"idonly/internal/core/parallel"
 	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/ring"
 	"idonly/internal/core/rotor"
 	"idonly/internal/ids"
 	"idonly/internal/sim"
@@ -70,6 +71,10 @@ func Samples() []sim.SortKeyer {
 				parallel.StrongPrefer{ID: p, X: v}, parallel.Opinion{ID: p, X: v},
 				parallel.NoPref{ID: p}, parallel.NoStrongPref{ID: p})
 		}
+	}
+
+	for _, id := range someIDs {
+		out = append(out, ring.Probe{Min: id})
 	}
 
 	out = append(out, dynamic.Present{}, dynamic.Absent{},

@@ -1,0 +1,75 @@
+package sortkeys
+
+// Wire-union delegation: the monomorphized runner's bit-identity proof
+// rests on each protocol's Wire type rendering exactly the bytes — and
+// reporting exactly the ordinal — of the boxed payload it wraps, and on
+// Wrap/Unwrap being a lossless round trip. This test checks all three
+// for every member of every registered wire union, with the same
+// edge-case field values the registry samples, and that payloads
+// outside a union are rejected rather than silently miswrapped.
+
+import (
+	"testing"
+
+	"idonly/internal/core/consensus"
+	"idonly/internal/core/rbroadcast"
+	"idonly/internal/core/ring"
+	"idonly/internal/core/rotor"
+	"idonly/internal/sim"
+)
+
+func checkWireUnion[M sim.WireMsg](t *testing.T, name string, codec sim.Codec[M], members []any, junk []any) {
+	t.Helper()
+	for _, p := range members {
+		w, ok := codec.Wrap(p)
+		if !ok {
+			t.Errorf("%s: Wrap(%#v) rejected a union member", name, p)
+			continue
+		}
+		sk := p.(sim.SortKeyer)
+		if got, want := string(w.AppendSortKey(nil)), string(sk.AppendSortKey(nil)); got != want {
+			t.Errorf("%s: wire key %q != payload key %q for %#v", name, got, want, p)
+		}
+		if got, want := w.SortKeyOrdinal(), sk.SortKeyOrdinal(); got != want {
+			t.Errorf("%s: wire ordinal %#x != payload ordinal %#x for %#v", name, got, want, p)
+		}
+		if back := codec.Unwrap(w); back != p {
+			t.Errorf("%s: round trip %#v -> %#v", name, p, back)
+		}
+	}
+	for _, p := range junk {
+		if _, ok := codec.Wrap(p); ok {
+			t.Errorf("%s: Wrap(%#v) accepted a payload outside the union", name, p)
+		}
+	}
+}
+
+func TestWireUnionsDelegate(t *testing.T) {
+	junk := []any{nil, 17, "plain string", struct{ A int }{A: 4}}
+
+	var rb []any
+	rb = append(rb, rbroadcast.Present{})
+	for _, s := range strs {
+		for _, id := range someIDs {
+			rb = append(rb, rbroadcast.Initial{M: s, S: id}, rbroadcast.Echo{M: s, S: id})
+		}
+	}
+	checkWireUnion(t, "rbroadcast", rbroadcast.WireCodec(), rb, junk)
+
+	var cs []any
+	cs = append(cs, rotor.Init{})
+	for _, id := range someIDs {
+		cs = append(cs, rotor.Echo{P: id})
+	}
+	for _, x := range floats {
+		cs = append(cs, rotor.Opinion{X: x},
+			consensus.Input{X: x}, consensus.Prefer{X: x}, consensus.StrongPrefer{X: x})
+	}
+	checkWireUnion(t, "consensus", consensus.WireCodec(), cs, junk)
+
+	var rg []any
+	for _, id := range someIDs {
+		rg = append(rg, ring.Probe{Min: id})
+	}
+	checkWireUnion(t, "ring", ring.WireCodec(), rg, junk)
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"idonly/internal/engine"
+)
+
+// TestGetDoesNotPoolOversizedBuffers: reading one giant record must not
+// park its buffer in the read pool for the life of the process — the
+// serve path keeps a Store open indefinitely.
+func TestGetDoesNotPoolOversizedBuffers(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	small := testResultsOnce()[0]
+	big := testResultsOnce()[1]
+	big.Err = strings.Repeat("x", 2*maxPooledReadBuf)
+	if err := s.PutBatch([]engine.Result{small, big}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, res := range []engine.Result{small, big} {
+		got, ok, err := s.Get(res.Scenario.Digest())
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = ok=%v err=%v", res.Scenario.Name, ok, err)
+		}
+		if got.Err != res.Err {
+			t.Fatalf("Get(%s) corrupted the payload", res.Scenario.Name)
+		}
+	}
+
+	// Drain the pool: nothing in it may exceed the retention bound (the
+	// small record's buffer is welcome back, the big one is not).
+	for {
+		b, _ := s.readBufs.Get().(*[]byte)
+		if b == nil {
+			break
+		}
+		if cap(*b) > maxPooledReadBuf {
+			t.Fatalf("pooled read buffer of %d bytes exceeds the %d-byte bound", cap(*b), maxPooledReadBuf)
+		}
+	}
+}

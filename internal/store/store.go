@@ -48,6 +48,10 @@ const (
 	// maxPayload bounds a single record so a corrupt length prefix can
 	// never drive the open scan into a multi-gigabyte allocation.
 	maxPayload = 64 << 20
+	// maxPooledReadBuf bounds what one Get may leave in the read-buffer
+	// pool; typical results are a few KB, so 1 MiB keeps every normal
+	// buffer recyclable without retaining outliers.
+	maxPooledReadBuf = 1 << 20
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -84,7 +88,9 @@ type Store struct {
 	// readBufs pools Get's payload buffers: json.Unmarshal never
 	// retains its input, so the buffer is safe to recycle the moment a
 	// Get returns — warm CachedRunAll sweeps stop allocating one fresh
-	// buffer per read.
+	// buffer per read. Buffers above maxPooledReadBuf are not returned
+	// to the pool: one giant record must not pin its allocation for the
+	// life of a long-running serve process.
 	readBufs sync.Pool
 
 	gets, hits, puts, dups atomic.Int64
@@ -246,7 +252,11 @@ func (s *Store) Get(digest string) (engine.Result, bool, error) {
 	} else {
 		payload = make([]byte, loc.n)
 	}
-	defer s.readBufs.Put(&payload)
+	defer func() {
+		if cap(payload) <= maxPooledReadBuf {
+			s.readBufs.Put(&payload)
+		}
+	}()
 	if _, err := s.f.ReadAt(payload, loc.off); err != nil {
 		return engine.Result{}, false, fmt.Errorf("store: reading %s: %w", digest[:12], err)
 	}
