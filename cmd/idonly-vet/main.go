@@ -1,0 +1,120 @@
+// idonly-vet runs the repo's contract analyzers (internal/lint) over
+// module packages and reports violations with file:line positions.
+//
+// Usage:
+//
+//	idonly-vet [flags] [packages]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 findings,
+// 2 load/usage error.
+//
+// Output is one line per finding; -json emits a machine-readable
+// array, -github additionally emits ::error workflow commands so
+// findings annotate the offending lines on pull requests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"idonly/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "also emit GitHub ::error workflow commands per finding")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: idonly-vet [flags] [packages]\n\nAnalyzers enforce the repo's determinism, digest-stability and\nhot-path contracts; see DESIGN.md \"Enforced invariants\".\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := lint.DefaultConfig()
+	if *list {
+		for _, a := range lint.Analyzers(cfg) {
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.List(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	diags := lint.Run(cfg, pkgs, names...)
+	for i := range diags {
+		// Positions relative to the module root read better in CI logs
+		// and are what GitHub annotations require.
+		if rel, ok := strings.CutPrefix(diags[i].File, loader.ModuleRoot+string(os.PathSeparator)); ok {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+				d.File, d.Line, d.Col, d.Analyzer, escapeGitHub(d.Message))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "idonly-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// escapeGitHub escapes workflow-command message data.
+func escapeGitHub(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idonly-vet:", err)
+	os.Exit(2)
+}

@@ -97,7 +97,7 @@ func (c *ClosureGossip) Handle(ctx *Context, msg Message) []Send {
 	}
 	// Closure: everyone I know has confirmed exactly my set.
 	closed := true
-	for id := range c.known {
+	for id := range c.known { //lint:ordered all-quantifier, order-free
 		if id == c.id {
 			continue
 		}
@@ -131,7 +131,7 @@ func (c *ClosureGossip) fingerprint() string {
 
 func (c *ClosureGossip) majority() int {
 	ones := 0
-	for _, v := range c.known {
+	for _, v := range c.known { //lint:ordered counting is commutative
 		if v == 1 {
 			ones++
 		}
@@ -198,7 +198,7 @@ func (t *TimeoutQuorum) HandleTimer(ctx *Context, name string) []Send {
 	if name == "decide" && !t.decided {
 		t.decided = true
 		ones := 0
-		for _, v := range t.heard {
+		for _, v := range t.heard { //lint:ordered counting is commutative
 			if v == 1 {
 				ones++
 			}

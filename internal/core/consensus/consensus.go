@@ -337,7 +337,7 @@ func (n *Node) substitute(tally *quorum.Tally[float64], own float64, hasOwn bool
 	if !hasOwn || n.opts.NoSubstitution {
 		return
 	}
-	for m := range n.members {
+	for m := range n.members { //lint:ordered tally insertion is commutative
 		if !tally.HasSender(m) {
 			tally.Add(own, m)
 		}

@@ -221,7 +221,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 			}
 		}
 		bestR, bestC := 0, 0
-		for rr, c := range counts {
+		for rr, c := range counts { //lint:ordered max tie-broken toward the smallest round: a total order
 			if c > bestC || (c == bestC && rr < bestR) {
 				bestR, bestC = rr, c
 			}
@@ -317,7 +317,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	// Start session r (line 27) with the events received this round.
 	if n.state == stActive {
 		inputs := make(map[parallel.PairID]parallel.Val, len(events))
-		for u, m := range events {
+		for u, m := range events { //lint:ordered independent per-event writes, order-free
 			inputs[parallel.PairID(u)] = parallel.V(m)
 		}
 		snapshot := n.Members()
@@ -336,7 +336,7 @@ func (n *Node) Step(round int, inbox []sim.Message) []sim.Send {
 	// A leaving node disappears once its outstanding sessions are done.
 	if n.state == stLeaving {
 		done := true
-		for _, s := range n.sessions {
+		for _, s := range n.sessions { //lint:ordered all-quantifier, order-free
 			if !s.stopped {
 				done = false
 				break

@@ -162,7 +162,7 @@ func NewMachine(self ids.ID, inputs map[PairID]Val, members []ids.ID) *Machine {
 			m.filter[id] = true
 		}
 	}
-	for id, x := range inputs {
+	for id, x := range inputs { //lint:ordered independent per-pair writes, order-free
 		if x.Bot {
 			continue // the rules only broadcast non-⊥ inputs
 		}
@@ -180,7 +180,7 @@ func (m *Machine) Round() int { return m.round }
 // long to keep listening (the dynamic protocol uses the finality bound,
 // the standalone Node waits out the first phase).
 func (m *Machine) Done() bool {
-	for _, inst := range m.insts {
+	for _, inst := range m.insts { //lint:ordered all-quantifier, order-free
 		if !inst.decided {
 			return false
 		}
@@ -191,7 +191,7 @@ func (m *Machine) Done() bool {
 // Outputs returns the decided (id, x) pairs with x ≠ ⊥.
 func (m *Machine) Outputs() map[PairID]Val {
 	out := make(map[PairID]Val)
-	for id, inst := range m.insts {
+	for id, inst := range m.insts { //lint:ordered map-to-map copy, order-free
 		if inst.decided && !inst.output.Bot {
 			out[id] = inst.output
 		}
@@ -203,7 +203,7 @@ func (m *Machine) Outputs() map[PairID]Val {
 // which it was decided.
 func (m *Machine) OutputRounds() map[PairID]int {
 	out := make(map[PairID]int)
-	for id, inst := range m.insts {
+	for id, inst := range m.insts { //lint:ordered map-to-map copy, order-free
 		if inst.decided && !inst.output.Bot {
 			out[id] = inst.decidedRound
 		}
@@ -530,7 +530,7 @@ func (m *Machine) admitKnownOnly(id PairID, k kind, round int) *instance {
 //     contributes no value).
 func (m *Machine) substitute(inst *instance, k kind, round int, tally *quorum.Tally[Val], responded map[ids.ID]bool) {
 	firstTime := inst.firstSeen[k] == 0 || inst.firstSeen[k] == round
-	for member := range m.members {
+	for member := range m.members { //lint:ordered tally insertion is commutative
 		if responded[member] {
 			continue
 		}

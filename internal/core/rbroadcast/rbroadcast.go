@@ -103,7 +103,7 @@ func (n *Node) Accepted(m string, s ids.ID) (round int, ok bool) {
 // AcceptedKeys returns a copy of the accepted key -> round map.
 func (n *Node) AcceptedKeys() map[Key]int {
 	out := make(map[Key]int, len(n.accepted))
-	for k, r := range n.accepted {
+	for k, r := range n.accepted { //lint:ordered map-to-map copy, order-free
 		out[k] = r
 	}
 	return out

@@ -91,7 +91,7 @@ func RunAll(specs []Scenario, opts Options) *Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock report wall-time only; results never read it
 	results := MapWorker(workers, len(specs), func(w, i int) Result {
 		return specs[i].RunHooked(w, i, opts.Hooks)
 	})
@@ -99,7 +99,7 @@ func RunAll(specs []Scenario, opts Options) *Report {
 		Grid:      opts.Grid,
 		Scenarios: len(specs),
 		Workers:   workers,
-		ElapsedNS: time.Since(start).Nanoseconds(),
+		ElapsedNS: time.Since(start).Nanoseconds(), //lint:wallclock report wall-time only; results never read it
 		Groups:    opts.Hooks.Aggregate(results),
 		Results:   results,
 	}

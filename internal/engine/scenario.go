@@ -329,9 +329,9 @@ type phases struct {
 func (s Scenario) run(ph *phases) (res Result) {
 	s = s.withDefaults()
 	res.Scenario = s
-	start := time.Now()
+	start := time.Now() //lint:wallclock Result.WallNS is measurement, zeroed in canonical reports
 	defer func() {
-		res.WallNS = time.Since(start).Nanoseconds()
+		res.WallNS = time.Since(start).Nanoseconds() //lint:wallclock Result.WallNS is measurement, zeroed in canonical reports
 		if p := recover(); p != nil {
 			res.Err = fmt.Sprint(p)
 		}
@@ -372,12 +372,12 @@ func (s Scenario) run(ph *phases) (res Result) {
 		// canonical report bytes.
 		var roundsStart time.Time
 		if ph != nil {
-			roundsStart = time.Now()
+			roundsStart = time.Now() //lint:wallclock span phase timing; observability only
 			ph.buildNS = roundsStart.Sub(start).Nanoseconds()
 		}
 		m = pr.typed(cfg, early, adv)
 		if ph != nil {
-			ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+			ph.roundsNS = time.Since(roundsStart).Nanoseconds() //lint:wallclock span phase timing; observability only
 		}
 	} else {
 		run := sim.NewRunner(cfg, pr.procs, early, adv)
@@ -409,12 +409,12 @@ func (s Scenario) run(ph *phases) (res Result) {
 		}
 		var roundsStart time.Time
 		if ph != nil {
-			roundsStart = time.Now()
+			roundsStart = time.Now() //lint:wallclock span phase timing; observability only
 			ph.buildNS = roundsStart.Sub(start).Nanoseconds()
 		}
 		m = run.Run(stop)
 		if ph != nil {
-			ph.roundsNS = time.Since(roundsStart).Nanoseconds()
+			ph.roundsNS = time.Since(roundsStart).Nanoseconds() //lint:wallclock span phase timing; observability only
 		}
 	}
 
@@ -443,7 +443,7 @@ func (s Scenario) run(ph *phases) (res Result) {
 		}
 	}
 	res.AllDecided = !res.DecidedNA && res.DecidedNodes == res.DecidedOf
-	for _, r := range m.DecidedRound {
+	for _, r := range m.DecidedRound { //lint:ordered max reduction, order-free
 		if r > res.DecidedRoundMax {
 			res.DecidedRoundMax = r
 		}
@@ -672,7 +672,7 @@ func buildProtocol(s Scenario, correct, founders []ids.ID, plan churnPlan) proto
 				if len(other) != len(out) {
 					panic("engine: parallel consensus agreement violated")
 				}
-				for k, v := range out {
+				for k, v := range out { //lint:ordered agreement check panics on any mismatch, order-free
 					if other[k] != v {
 						panic("engine: parallel consensus agreement violated")
 					}

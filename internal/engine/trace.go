@@ -176,7 +176,7 @@ func (h Hooks) Aggregate(results []Result) []Group {
 	if h.Obs == nil {
 		return Aggregate(results)
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock aggregation-phase histogram; observability only
 	groups := Aggregate(results)
 	h.Obs.Agg.ObserveSince(start)
 	return groups

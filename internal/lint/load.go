@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis: its parsed
+// non-test files, the go/types artifacts the analyzers consult, and the
+// //lint: directives its files carry.
+type Package struct {
+	Path    string   // import path ("idonly/internal/sim")
+	Dir     string   // absolute directory
+	GoFiles []string // absolute paths of the parsed files
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[string][]*directive // file base path -> directives, line-ordered
+}
+
+// Loader type-checks module packages with nothing but the standard
+// library: import paths inside the module resolve straight to their
+// directories (listed by `go list -json` when available, scanned from
+// disk otherwise), and everything else — the standard library — goes
+// through go/importer's source importer. The whole repo has a single
+// FileSet, so positions compare across packages.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset       *token.FileSet
+	listed     map[string]listing
+	pkgs       map[string]*Package
+	inProgress map[string]bool
+	stdlib     types.Importer
+}
+
+type listing struct {
+	dir     string
+	goFiles []string // base names
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader returns a loader rooted at the module containing root.
+func NewLoader(root string) (*Loader, error) {
+	moduleRoot, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modPath,
+		fset:       fset,
+		listed:     make(map[string]listing),
+		pkgs:       make(map[string]*Package),
+		inProgress: make(map[string]bool),
+		stdlib:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath extracts the module path from the first `module` line.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// List expands go package patterns (./..., explicit paths) into module
+// import paths via `go list -json`, caching each package's build-tag
+// resolved file list for the subsequent Load calls.
+func (l *Loader) List(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var paths []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct {
+			ImportPath string
+			Dir        string
+			GoFiles    []string
+		}
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue // test-only or empty package
+		}
+		l.listed[p.ImportPath] = listing{dir: p.Dir, goFiles: p.GoFiles}
+		paths = append(paths, p.ImportPath)
+	}
+	return paths, nil
+}
+
+// LoadDir type-checks the package in an explicit directory (the golden
+// test harness loads seeded-violation testdata packages this way, which
+// `go list ./...` deliberately never sees). The directory must sit
+// inside the module so its pseudo import path resolves back to it.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath + "/" + filepath.ToSlash(rel)
+	if _, ok := l.listed[path]; !ok {
+		files, err := scanDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		l.listed[path] = listing{dir: abs, goFiles: files}
+	}
+	return l.Load(path)
+}
+
+// scanDir lists the non-test buildable Go files of a directory.
+func scanDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// ours reports whether the import path belongs to this module.
+func (l *Loader) ours(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Import implements types.Importer: module packages are type-checked
+// from source through Load, everything else delegates to the standard
+// library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.ours(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// Load parses and type-checks one module package (cached).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.inProgress[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.inProgress[path] = true
+	defer delete(l.inProgress, path)
+
+	lst, ok := l.listed[path]
+	if !ok {
+		// Not pre-listed (a dependency reached before its own List
+		// entry): derive the directory from the import path.
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		files, err := scanDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: resolving import %q: %w", path, err)
+		}
+		lst = listing{dir: dir, goFiles: files}
+		l.listed[path] = lst
+	}
+
+	pkg := &Package{Path: path, Dir: lst.dir, Fset: l.fset}
+	for _, name := range lst.goFiles {
+		abs := filepath.Join(lst.dir, name)
+		f, err := parser.ParseFile(l.fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.GoFiles = append(pkg.GoFiles, abs)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	pkg.Types = tpkg
+	pkg.directives = parseDirectives(l.fset, pkg.Files)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

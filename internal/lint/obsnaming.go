@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// obsNaming enforces the metrics-naming contract: every metric name
+// passed to the obs.Registry constructors and every label key built
+// with obs.L (or an obs.Label literal) must be a string literal — so
+// the CI /metrics greps can find them — prefixed with
+// Config.MetricPrefix and in snake_case. A computed name would compile
+// today and silently vanish from the scrape assertions tomorrow.
+type obsNaming struct {
+	cfg       Config
+	nameRx    *regexp.Regexp
+	labelRx   *regexp.Regexp
+	registryM map[string]bool
+}
+
+func newObsNaming(cfg Config) *obsNaming {
+	return &obsNaming{
+		cfg:     cfg,
+		nameRx:  regexp.MustCompile(`^` + regexp.QuoteMeta(cfg.MetricPrefix) + `[a-z0-9]+(_[a-z0-9]+)*$`),
+		labelRx: regexp.MustCompile(`^[a-z][a-z0-9_]*$`),
+		registryM: map[string]bool{
+			"Counter": true, "CounterFunc": true,
+			"Gauge": true, "GaugeFunc": true,
+			"Histogram": true,
+		},
+	}
+}
+
+func (o *obsNaming) Name() string { return "obs-naming" }
+func (o *obsNaming) Doc() string {
+	return "metric names and label keys must be literal, prefixed, snake_case strings"
+}
+func (o *obsNaming) Finish() []Diagnostic { return nil }
+
+func (o *obsNaming) Package(pkg *Package) []Diagnostic {
+	if pkg.Path == o.cfg.ObsPath {
+		return nil // the registry's own internals aren't call sites
+	}
+	var diags []Diagnostic
+	add := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: o.Name(),
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				// Registry method calls: reg.Counter(name, ...).
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal &&
+					o.registryM[sel.Sel.Name] && o.isRegistry(s.Recv()) {
+					o.checkLiteral(n.Args[0], "metric name", o.nameRx, add)
+				}
+				// Label constructor: obs.L(key, value).
+				if pkgNameOf(pkg.Info, sel.X) == o.cfg.ObsPath && sel.Sel.Name == "L" {
+					o.checkLiteral(n.Args[0], "label key", o.labelRx, add)
+				}
+			case *ast.CompositeLit:
+				// obs.Label{Key: ...} literals.
+				t := pkg.Info.TypeOf(n)
+				named, ok := t.(*types.Named)
+				if !ok || named.Obj().Name() != "Label" || named.Obj().Pkg() == nil ||
+					named.Obj().Pkg().Path() != o.cfg.ObsPath {
+					return true
+				}
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Key" {
+							o.checkLiteral(kv.Value, "label key", o.labelRx, add)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isRegistry reports whether the method receiver is (a pointer to) the
+// obs Registry type.
+func (o *obsNaming) isRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == o.cfg.ObsPath
+}
+
+// checkLiteral requires expr to be a string literal matching rx.
+func (o *obsNaming) checkLiteral(expr ast.Expr, what string, rx *regexp.Regexp, add func(ast.Node, string, ...any)) {
+	e := expr
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok {
+		add(expr, "%s must be a string literal so the CI /metrics greps can see it; build the series with literal names and label values instead", what)
+		return
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !rx.MatchString(s) {
+		add(expr, "%s %q must match %s (prefixed snake_case keeps the scrape surface greppable and collision-free)", what, s, rx)
+	}
+}

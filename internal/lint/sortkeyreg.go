@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sortKeyRegistry enforces the typed sort-key contract from
+// internal/sim/sortkey.go at its two registration surfaces:
+//
+//   - wire unions: every concrete type a Codec's Wrap function accepts
+//     (the cases of its payload type switch) must implement
+//     sim.SortKeyer — an unregistered type would silently fall back to
+//     reflection-based keys on the reference plane while the typed
+//     plane carries it natively, and the two schedules could diverge;
+//   - ordinals: every constant SortKeyOrdinal must be nonzero (0 is
+//     the reserved fallback), unique repo-wide (the duplicate filter
+//     keys on it), and inside its package's documented range.
+//
+// Methods whose ordinal is computed (wire unions delegating per kind,
+// wrapper composition) are skipped: the runtime uniqueness test in
+// internal/sortkeys covers those.
+type sortKeyRegistry struct {
+	cfg  Config
+	seen map[uint32][]ordSite
+}
+
+type ordSite struct {
+	typ string
+	pos token.Position
+}
+
+func newSortKeyRegistry(cfg Config) *sortKeyRegistry {
+	return &sortKeyRegistry{cfg: cfg, seen: make(map[uint32][]ordSite)}
+}
+
+func (s *sortKeyRegistry) Name() string { return "sortkey-registry" }
+func (s *sortKeyRegistry) Doc() string {
+	return "wire-union payload types must implement sim.SortKeyer; SortKeyOrdinal constants must be nonzero, unique repo-wide, and in their package's documented range"
+}
+
+func (s *sortKeyRegistry) Package(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	add := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: s.Name(),
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	s.checkWireUnions(pkg, add)
+	s.collectOrdinals(pkg, add)
+	return diags
+}
+
+// checkWireUnions finds sim.Codec composite literals, resolves their
+// Wrap functions, and checks every type-switch case type against the
+// SortKeyer interface of the Codec's own package.
+func (s *sortKeyRegistry) checkWireUnions(pkg *Package, add func(token.Pos, string, ...any)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(lit)
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Name() != "Codec" || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != s.cfg.SimPath {
+				return true
+			}
+			iface := sortKeyerOf(named.Obj().Pkg())
+			if iface == nil {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Wrap" {
+					continue
+				}
+				body := funcBody(pkg, kv.Value)
+				if body == nil {
+					add(kv.Value.Pos(), "cannot resolve this Codec's Wrap to a function declared in the same package; the wire-union membership check needs its type switch")
+					continue
+				}
+				for _, caseType := range typeSwitchCases(body) {
+					ct := pkg.Info.TypeOf(caseType)
+					if ct == nil || isNilOrInterface(ct) {
+						continue
+					}
+					if !types.Implements(ct, iface) && !types.Implements(types.NewPointer(ct), iface) {
+						add(caseType.Pos(), "type %s is registered in this wire union but does not implement %s.SortKeyer; the typed and reference planes would key its messages differently",
+							ct, named.Obj().Pkg().Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectOrdinals records every constant SortKeyOrdinal in the package
+// and range-checks it immediately; uniqueness is decided in Finish.
+func (s *sortKeyRegistry) collectOrdinals(pkg *Package, add func(token.Pos, string, ...any)) {
+	base, haveRange := s.ordinalBase(pkg.Path)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "SortKeyOrdinal" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			v, ok := constantReturn(pkg, fd.Body)
+			if !ok {
+				continue // delegating/composed ordinal: runtime tests cover it
+			}
+			recv := "?"
+			if t := pkg.Info.TypeOf(fd.Recv.List[0].Type); t != nil {
+				recv = t.String()
+			}
+			pos := pkg.Fset.Position(fd.Pos())
+			switch {
+			case v == 0:
+				add(fd.Pos(), "SortKeyOrdinal of %s is the reserved value 0 (unregistered fallback); draw it from the package's documented range", recv)
+			case !haveRange:
+				add(fd.Pos(), "package %s registers sort-key ordinal 0x%04x but has no documented range; add the package to the OrdBase table in sim/sortkey.go and to the analyzer's range map", pkg.Path, v)
+			case v < base || v >= base+s.cfg.OrdinalWidth:
+				add(fd.Pos(), "SortKeyOrdinal 0x%04x of %s is outside its package's documented range [0x%04x, 0x%04x)", v, recv, base, base+s.cfg.OrdinalWidth)
+			}
+			s.seen[v] = append(s.seen[v], ordSite{typ: recv, pos: pos})
+		}
+	}
+}
+
+// Finish flags repo-wide ordinal collisions: every site after the
+// first (in position order) is reported against the first.
+func (s *sortKeyRegistry) Finish() []Diagnostic {
+	var diags []Diagnostic
+	for v, sites := range s.seen {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].pos.Filename != sites[j].pos.Filename {
+				return sites[i].pos.Filename < sites[j].pos.Filename
+			}
+			return sites[i].pos.Line < sites[j].pos.Line
+		})
+		for _, dup := range sites[1:] {
+			diags = append(diags, Diagnostic{
+				Analyzer: s.Name(),
+				Pos:      dup.pos,
+				Message: fmt.Sprintf("SortKeyOrdinal 0x%04x of %s collides with %s (%s:%d); the duplicate filter keys on (sender, ordinal, key bytes), so ordinals must be unique repo-wide",
+					v, dup.typ, sites[0].typ, sites[0].pos.Filename, sites[0].pos.Line),
+			})
+		}
+	}
+	return diags
+}
+
+// ordinalBase resolves the documented ordinal base for a package path
+// by longest suffix match against the configured range map.
+func (s *sortKeyRegistry) ordinalBase(path string) (uint32, bool) {
+	bestLen := -1
+	var best uint32
+	for suffix, base := range s.cfg.OrdinalRanges {
+		if (strings.HasSuffix(path, suffix) || strings.Contains(path, suffix+"/")) && len(suffix) > bestLen {
+			bestLen, best = len(suffix), base
+		}
+	}
+	return best, bestLen >= 0
+}
+
+// constantReturn extracts the value of a method body consisting of a
+// single constant return.
+func constantReturn(pkg *Package, body *ast.BlockStmt) (uint32, bool) {
+	if len(body.List) != 1 {
+		return 0, false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return 0, false
+	}
+	tv, ok := pkg.Info.Types[ret.Results[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+// funcBody resolves a function-valued expression to its body: an
+// inline literal, or an identifier naming a function declared in the
+// same package.
+func funcBody(pkg *Package, expr ast.Expr) *ast.BlockStmt {
+	switch e := expr.(type) {
+	case *ast.FuncLit:
+		return e.Body
+	case *ast.Ident:
+		obj := pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return nil
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && pkg.Info.ObjectOf(fd.Name) == obj {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// typeSwitchCases returns the case-clause type expressions of every
+// type switch in the body.
+func typeSwitchCases(body *ast.BlockStmt) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range ts.Body.List {
+			out = append(out, clause.(*ast.CaseClause).List...)
+		}
+		return true
+	})
+	return out
+}
+
+// isNilOrInterface reports whether a case type is the untyped nil or
+// an interface (either way, not a concrete payload type).
+func isNilOrInterface(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return isIface
+}
+
+// sortKeyerOf looks up the SortKeyer interface in the sim package.
+func sortKeyerOf(simPkg *types.Package) *types.Interface {
+	obj := simPkg.Scope().Lookup("SortKeyer")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}

@@ -1,0 +1,80 @@
+// Package determ seeds determinism-analyzer violations for the golden
+// harness: unannotated map ranges, wall clocks, the global math/rand
+// source, and a map-keyed select, next to the idioms the analyzer must
+// accept (feeds-a-sort, justified directives).
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func BadRange(m map[int]string) int {
+	n := 0
+	for k := range m { // want `map iteration order is schedule-dependent`
+		n += k
+	}
+	return n
+}
+
+func OKFeedsSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func OKAnnotated(m map[int]string) int {
+	n := 0
+	for range m { //lint:ordered counting is commutative
+		n++
+	}
+	return n
+}
+
+func BareDirective(m map[int]string) int {
+	n := 0
+	//lint:ordered
+	for k := range m { // want `//lint:ordered needs a justification`
+		n += k
+	}
+	return n
+}
+
+func StaleDirective(xs []int) int {
+	n := 0
+	//lint:ordered slices iterate in index order anyway // want `suppresses nothing`
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func BadClock() int64 {
+	start := time.Now()                    // want `wall clock \(time\.Now\)`
+	return time.Since(start).Nanoseconds() // want `wall clock \(time\.Since\)`
+}
+
+func OKClock() time.Time {
+	return time.Now() //lint:wallclock measurement only, never read by results
+}
+
+func BadRand() int {
+	return rand.Intn(10) // want `global math/rand source \(rand\.Intn\)`
+}
+
+func OKSeededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func BadSelect(chans map[int]chan int) int {
+	select {
+	case v := <-chans[0]: // want `select source is keyed by a map lookup`
+		return v
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,31 @@
+// Package digestdrift is a stripped clone of engine.Scenario plus its
+// Digest method, seeded with the exact failure the analyzer exists to
+// catch: a result-affecting field (Timeout) that the canonical digest
+// encoding never folds in, so cached results would be served across
+// scenarios that differ in it. Tainted is the reverse seed: excluded
+// by configuration yet encoded. The harness config excludes
+// SimWorkers, Tainted, and the nonexistent Ghost.
+package digestdrift
+
+import "strconv"
+
+type Scenario struct {
+	Name     string
+	Protocol string
+	N        int
+	Seed     uint64
+
+	Timeout int // want `field Scenario\.Timeout is not encoded by Digest\(\)`
+
+	SimWorkers int
+
+	Tainted int // want `field Scenario\.Tainted is on the digest exclusion list but Digest\(\) references it`
+}
+
+func (s Scenario) Digest() string { // want `digest exclusion list entry "Ghost" names no field`
+	out := s.Name + "/" + s.Protocol
+	out += "/" + strconv.Itoa(s.N)
+	out += "/" + strconv.FormatUint(s.Seed, 10)
+	out += "/" + strconv.Itoa(s.Tainted)
+	return out
+}

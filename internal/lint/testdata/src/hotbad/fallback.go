@@ -1,0 +1,9 @@
+// The package's designated fallback file: exempt from the hot-path
+// rules, exactly like internal/sim/fallback.go in the real tree.
+package hotbad
+
+import "fmt"
+
+func FallbackKey(dst []byte, payload any) []byte {
+	return fmt.Append(dst, payload)
+}

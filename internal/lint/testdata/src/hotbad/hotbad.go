@@ -1,0 +1,34 @@
+// Package hotbad seeds hotpath-allocs violations — fmt, reflect, and
+// explicit any-boxing outside the designated fallback file — next to
+// the two sanctioned escapes (panic arguments, capability probes).
+package hotbad
+
+import (
+	"fmt"
+	"reflect"
+)
+
+func BadSprintf(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf reflects over its arguments`
+}
+
+func BadReflect(x any) string {
+	return reflect.TypeOf(x).Name() // want `reflect\.TypeOf on the simulator hot path`
+}
+
+func BadBox(x int) any {
+	return any(x) // want `explicit conversion boxes int into an empty interface`
+}
+
+func OKPanicPath(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("hotbad: negative %d", x))
+	}
+}
+
+type leaver interface{ Left() bool }
+
+func OKCapabilityProbe(p int) bool {
+	_, ok := any(p).(leaver)
+	return ok
+}

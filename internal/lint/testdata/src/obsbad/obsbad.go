@@ -1,0 +1,17 @@
+// Package obsbad seeds obs-naming violations: computed metric names,
+// missing prefixes, non-snake-case names, and bad label keys, next to
+// conforming registrations.
+package obsbad
+
+import "idonly/internal/obs"
+
+func Register(reg *obs.Registry, dynamic string) {
+	reg.Counter("idonly_good_total", "A conforming counter.")
+	reg.Counter(dynamic, "Computed name.")                      // want `metric name must be a string literal`
+	reg.Gauge("unprefixed_records", "Missing prefix.")          // want `metric name "unprefixed_records" must match`
+	reg.Histogram("idonly_BadCase_seconds", "Camel case.", nil) // want `metric name "idonly_BadCase_seconds" must match`
+	reg.Counter("idonly_labeled_total", "Labels.",
+		obs.L("good_key", "v"),
+		obs.L("Bad-Key", "v")) // want `label key "Bad-Key" must match`
+	_ = obs.Label{Key: "also-bad key", Value: "v"} // want `label key "also-bad key" must match`
+}

@@ -1,0 +1,63 @@
+// Package sortkeybad seeds sortkey-registry violations: a wire-union
+// member without a SortKeyer implementation, a repo-wide ordinal
+// collision, an out-of-range ordinal, and a reserved-zero ordinal. The
+// harness config grants this package the range [0x0100, 0x0200).
+package sortkeybad
+
+import "idonly/internal/sim"
+
+const (
+	ordGood  uint32 = 0x0101
+	ordOther uint32 = 0x0102
+)
+
+type Good struct{ X int }
+
+func (g Good) AppendSortKey(dst []byte) []byte { return sim.AppendInt(dst, int64(g.X)) }
+func (Good) SortKeyOrdinal() uint32            { return ordGood }
+
+type Dup struct{ Y int }
+
+func (d Dup) AppendSortKey(dst []byte) []byte { return sim.AppendInt(dst, int64(d.Y)) }
+func (Dup) SortKeyOrdinal() uint32            { return ordGood } // want `SortKeyOrdinal 0x0101 of .*Dup collides with .*Good`
+
+type OutOfRange struct{}
+
+func (OutOfRange) AppendSortKey(dst []byte) []byte { return dst }
+func (OutOfRange) SortKeyOrdinal() uint32          { return 0x0900 } // want `outside its package's documented range`
+
+type Zero struct{}
+
+func (Zero) AppendSortKey(dst []byte) []byte { return dst }
+func (Zero) SortKeyOrdinal() uint32          { return 0 } // want `reserved value 0`
+
+// NoKey is carried by the wire union below without implementing
+// sim.SortKeyer: the reference plane would key it reflectively while
+// the typed plane carries it natively.
+type NoKey struct{ Z int }
+
+type Wire struct {
+	Kind uint8
+	V    int
+}
+
+func (w Wire) AppendSortKey(dst []byte) []byte { return sim.AppendInt(dst, int64(w.V)) }
+func (w Wire) SortKeyOrdinal() uint32          { return ordOther }
+
+func wrap(p any) (Wire, bool) {
+	switch p := p.(type) {
+	case Good:
+		return Wire{Kind: 1, V: p.X}, true
+	case NoKey: // want `type .*NoKey is registered in this wire union but does not implement sim\.SortKeyer`
+		return Wire{Kind: 2, V: p.Z}, true
+	}
+	return Wire{}, false
+}
+
+// WireCodec mirrors the per-protocol codec constructors.
+func WireCodec() sim.Codec[Wire] {
+	return sim.Codec[Wire]{
+		Wrap:   wrap,
+		Unwrap: func(w Wire) any { return w },
+	}
+}

@@ -192,7 +192,7 @@ func (w *Witnesses[K]) Keys() []K {
 // unspecified order — the allocation-free form of Keys for callers
 // holding a reusable scratch slice.
 func (w *Witnesses[K]) AppendKeys(dst []K) []K {
-	for k := range w.byKey {
+	for k := range w.byKey { //lint:ordered contractually unordered; callers sort or reduce commutatively
 		dst = append(dst, k)
 	}
 	return dst
@@ -205,7 +205,7 @@ func (w *Witnesses[K]) Len() int { return len(w.byKey) }
 // recycling the per-key sender sets through an internal free list, so a
 // long-lived tracker that is periodically reset stops allocating.
 func (w *Witnesses[K]) Reset() {
-	for _, set := range w.byKey {
+	for _, set := range w.byKey { //lint:ordered sets are fully reset; free-list order only affects reused capacity
 		set.reset()
 		w.free = append(w.free, set)
 	}
@@ -254,7 +254,7 @@ func (t *Tally[K]) Count(key K) int {
 // key can pass 2nv/3 and at most two can pass nv/3, and callers that
 // need determinism use BestFunc with an explicit order.
 func (t *Tally[K]) Best() (key K, count int, ok bool) {
-	for k, set := range t.byKey {
+	for k, set := range t.byKey { //lint:ordered threshold callers admit at most one qualifying key
 		if set.len() > count {
 			key, count, ok = k, set.len(), true
 		}
@@ -265,7 +265,7 @@ func (t *Tally[K]) Best() (key K, count int, ok bool) {
 // BestFunc returns the key with the most votes, breaking ties with
 // less(a, b) == true meaning a is preferred. ok is false when empty.
 func (t *Tally[K]) BestFunc(less func(a, b K) bool) (key K, count int, ok bool) {
-	for k, set := range t.byKey {
+	for k, set := range t.byKey { //lint:ordered less() tie-break is a total order, so the max is order-free
 		switch {
 		case !ok, set.len() > count:
 			key, count, ok = k, set.len(), true
@@ -285,7 +285,7 @@ func (t *Tally[K]) Has(key K, sender ids.ID) bool {
 // the probe used by the substitution rules ("did this member send any
 // message of this kind this round?").
 func (t *Tally[K]) HasSender(sender ids.ID) bool {
-	for _, set := range t.byKey {
+	for _, set := range t.byKey { //lint:ordered existence check, order-free
 		if set.has(sender) {
 			return true
 		}
@@ -296,7 +296,7 @@ func (t *Tally[K]) HasSender(sender ids.ID) bool {
 // Keys returns all keys present in the tally.
 func (t *Tally[K]) Keys() []K {
 	out := make([]K, 0, len(t.byKey))
-	for k := range t.byKey {
+	for k := range t.byKey { //lint:ordered contractually unordered; callers sort or reduce commutatively
 		out = append(out, k)
 	}
 	return out
@@ -307,7 +307,7 @@ func (t *Tally[K]) Keys() []K {
 // internal free list, so the per-round tallies of a long run stop
 // allocating after warm-up.
 func (t *Tally[K]) Reset() {
-	for _, set := range t.byKey {
+	for _, set := range t.byKey { //lint:ordered sets are fully reset; free-list order only affects reused capacity
 		set.reset()
 		t.free = append(t.free, set)
 	}

@@ -1,0 +1,18 @@
+// The designated fallback file: the one place in the simulator where
+// reflection is allowed. Unregistered payload types — anything outside
+// the SortKeyer registry, chaos junk included — take this slow path
+// for their sort keys, exactly the pre-registry semantics. Everything
+// else in this package is contractually reflection-free, and the
+// hotpath-allocs analyzer (internal/lint) enforces that at compile
+// time; fallback.go is its documented exemption.
+package sim
+
+import "fmt"
+
+// appendFallbackKey renders the deterministic sort key of an
+// unregistered payload: fmt's %v form, byte-identical to what the
+// original reflective path produced, so mixing registered and
+// unregistered payloads never reorders an inbox.
+func appendFallbackKey(dst []byte, payload any) []byte {
+	return fmt.Append(dst, payload)
+}

@@ -678,7 +678,7 @@ func (r *Runner) deliverOne(n *node, from ids.ID, payload any, c *sendCtx) {
 		if c.sk != nil {
 			r.nxtArena = c.sk.AppendSortKey(r.nxtArena)
 		} else {
-			r.nxtArena = fmt.Append(r.nxtArena, payload)
+			r.nxtArena = appendFallbackKey(r.nxtArena, payload)
 		}
 		c.off, c.n, c.keyed = uint32(start), uint32(len(r.nxtArena)-start), true
 	}
