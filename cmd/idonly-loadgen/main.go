@@ -1,0 +1,104 @@
+// Command idonly-loadgen drives mixed hot/cold sweep traffic at a
+// running idonly-serve and writes a LOAD_N.json latency artifact.
+//
+// Usage:
+//
+//	idonly-loadgen -addr http://127.0.0.1:8080            # 10s, 4 workers, 80% hot
+//	idonly-loadgen -c 8 -duration 30s -hot 0.5            # heavier mix
+//	idonly-loadgen -out LOAD_1.json -label pr9            # name the artifact
+//	idonly-loadgen -load-baseline LOAD_0.json             # also gate: exit 1 on a
+//	                                                      # >1.5x p99 regression or
+//	                                                      # >1% error rate
+//	idonly-loadgen -load-baseline LOAD_0.json -max-p99-ratio 2.0
+//
+// Hot requests replay one small fixed grid (cache-served after an
+// initial warmup sweep); cold requests carry a never-repeated seed, so
+// the server must simulate and persist them. The gate mirrors the
+// BENCH_*.json allocs/op gate: CI keeps LOAD_0.json checked in and
+// fails the build when live p99 drifts past the ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"idonly/internal/loadgen"
+	"idonly/internal/obs"
+)
+
+func main() {
+	fs := flag.NewFlagSet("idonly-loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the idonly-serve instance")
+	concurrency := fs.Int("c", 4, "closed-loop worker count")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window")
+	hot := fs.Float64("hot", 0.8, "fraction of requests replaying the hot (cache-served) grid")
+	seed := fs.Int64("seed", 1, "seed for the traffic mix and the cold-scenario space")
+	label := fs.String("label", "", "label recorded in the artifact")
+	out := fs.String("out", "LOAD_0.json", "artifact path")
+	baseline := fs.String("load-baseline", "", "baseline LOAD_N.json to gate against (empty = no gate)")
+	maxRatio := fs.Float64("max-p99-ratio", 1.5, "fail the gate when fresh p99 exceeds baseline p99 by this ratio")
+	logFlags := obs.RegisterLogFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	logger, err := logFlags.Setup(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idonly-loadgen:", err)
+		os.Exit(2)
+	}
+
+	if err := run(logger, *addr, *concurrency, *duration, *hot, *seed, *label, *out, *baseline, *maxRatio); err != nil {
+		logger.Error("loadgen failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(logger *slog.Logger, addr string, concurrency int, duration time.Duration,
+	hot float64, seed int64, label, out, baseline string, maxRatio float64) error {
+	logger.Info("starting load run",
+		"addr", addr, "workers", concurrency, "duration", duration, "hot", hot)
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:     addr,
+		Concurrency: concurrency,
+		Duration:    duration,
+		HotFraction: hot,
+		Seed:        seed,
+		Label:       label,
+	})
+	if err != nil {
+		return err
+	}
+	logger.Info("load run complete",
+		"requests", res.Requests,
+		"errors", res.Errors,
+		"rejected", res.Rejected,
+		"rps", fmt.Sprintf("%.1f", res.ThroughputRPS),
+		"p50", time.Duration(res.P50NS),
+		"p99", time.Duration(res.P99NS),
+		"cache_hit_ratio", fmt.Sprintf("%.3f", res.CacheHitRatio))
+	if err := loadgen.WriteFile(out, res); err != nil {
+		return fmt.Errorf("writing %s: %w", out, err)
+	}
+	logger.Info("wrote artifact", "path", out)
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := loadgen.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	// The absolute slack keeps sub-millisecond baselines from tripping
+	// the ratio on scheduler noise alone.
+	if err := loadgen.Gate(res, base, maxRatio, 5*time.Millisecond); err != nil {
+		return err
+	}
+	logger.Info("baseline gate passed",
+		"baseline", baseline,
+		"baseline_p99", time.Duration(base.P99NS),
+		"fresh_p99", time.Duration(res.P99NS),
+		"max_ratio", maxRatio)
+	return nil
+}

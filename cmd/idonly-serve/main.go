@@ -16,7 +16,16 @@
 //	curl localhost:8080/v1/result/<scenario-digest>
 //	curl localhost:8080/v1/healthz
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/runs                   # live + recent sweep runs
+//	curl localhost:8080/v1/runs/run-000001       # one run's progress record
+//	curl localhost:8080/v1/runs/run-000001/watch # NDJSON progress stream
+//	curl localhost:8080/debug/events              # flight-recorder dump
 //	curl localhost:8080/metrics                   # Prometheus text exposition
+//
+// Every sweep is registered as a run (the response carries its ID in
+// the X-Idonly-Run header), and a watchdog flags any scenario that
+// stays on one worker past -scenario-deadline: a flight-recorder event
+// with the offending ScenarioDigest plus a goroutine dump to stderr.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight sweeps finish
 // (up to -drain), new connections are refused, and the store is closed
@@ -51,6 +60,9 @@ func main() {
 		maxN        = flag.Int("max-n", 256, "largest per-scenario system size a request may name")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
+		deadline    = flag.Duration("scenario-deadline", 30*time.Second, "watchdog: flag any scenario busy on one worker this long (0 disables)")
+		runHistory  = flag.Int("run-history", 64, "completed runs kept for GET /v1/runs")
+		eventBuf    = flag.Int("event-buffer", 1024, "flight-recorder ring size (rounded up to a power of two)")
 	)
 	logFlags := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -58,13 +70,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *storeDir, *workers, *maxInFlight, *maxGrid, *maxN, *drain, *pprofOn); err != nil {
+	if err := run(*addr, *storeDir, *workers, *maxInFlight, *maxGrid, *maxN, *drain, *pprofOn, *deadline, *runHistory, *eventBuf); err != nil {
 		slog.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain time.Duration, pprofOn bool) error {
+func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain time.Duration, pprofOn bool, deadline time.Duration, runHistory, eventBuf int) error {
 	st, err := store.Open(storeDir)
 	if err != nil {
 		return err
@@ -81,6 +93,10 @@ func run(addr, storeDir string, workers, maxInFlight, maxGrid, maxN int, drain t
 		MaxScenarios: maxGrid,
 		MaxN:         maxN,
 		EnablePprof:  pprofOn,
+
+		ScenarioDeadline: deadline,
+		RunHistory:       runHistory,
+		EventBuffer:      eventBuf,
 	})
 	srv := &http.Server{
 		Addr:              addr,

@@ -96,15 +96,22 @@ func NewObs(reg *obs.Registry) *Obs {
 type Hooks struct {
 	Obs  *Obs
 	Span SpanSink
+
+	// Run, when set, receives live progress: a ShardStart per computed
+	// scenario and a ScenarioDone per scenario, cached or not. The
+	// progress API's watch streams and the slow-scenario watchdog read
+	// the record concurrently; all of its methods are nil-safe.
+	Run *obs.RunRecord
 }
 
 // Enabled reports whether any hook is installed; callers that must
 // pay setup cost per scenario (a time.Now before a store lookup, say)
 // gate on it.
-func (h Hooks) Enabled() bool { return h.Obs != nil || h.Span != nil }
+func (h Hooks) Enabled() bool { return h.Obs != nil || h.Span != nil || h.Run != nil }
 
 // observe reports one computed scenario to the hook set.
 func (h Hooks) observe(worker, seq int, s Scenario, res *Result, ph phases) {
+	h.Run.ScenarioDone(worker, false, res.Err != "")
 	if o := h.Obs; o != nil {
 		o.Computed.Inc()
 		if res.Err != "" {
@@ -135,6 +142,7 @@ func (h Hooks) observe(worker, seq int, s Scenario, res *Result, ph phases) {
 // result store calls this for cache hits so traced sweeps show every
 // cell, computed or not. wallNS is the store lookup time.
 func (h Hooks) ObserveCached(seq int, digest string, res *Result, wallNS int64) {
+	h.Run.ScenarioDone(-1, true, res.Err != "")
 	if h.Obs != nil {
 		h.Obs.Cached.Inc()
 		if res.Err != "" {
@@ -162,6 +170,12 @@ func (h Hooks) ObserveCached(seq int, digest string, res *Result, wallNS int64) 
 func (s Scenario) RunHooked(worker, seq int, h Hooks) Result {
 	if !h.Enabled() {
 		return s.run(nil)
+	}
+	if h.Run != nil {
+		// Announce the scenario before it computes so progress watchers
+		// and the slow-scenario watchdog can see what each shard holds.
+		sd := s.withDefaults()
+		h.Run.ShardStart(worker, seq, sd.Name, s.Digest())
 	}
 	var ph phases
 	res := s.run(&ph)

@@ -146,6 +146,10 @@ func TestObsNamingGolden(t *testing.T) {
 	golden(t, "obsbad", "obs-naming", nil)
 }
 
+func TestObsNamingEventsGolden(t *testing.T) {
+	golden(t, "eventbad", "obs-naming", nil)
+}
+
 // TestSelfCheck runs the full suite over the real module with the real
 // config — the in-process twin of the CI `idonly-vet ./...` gate. The
 // tree must be clean: every intentional exception is either annotated

@@ -1,0 +1,22 @@
+// Package eventbad seeds obs-naming violations on the flight-recorder
+// surface: computed or non-snake-case event names, run kinds, and
+// event field keys, next to conforming records.
+package eventbad
+
+import "idonly/internal/obs"
+
+func Record(rec *obs.Recorder, runs *obs.RunRegistry, dynamic string) {
+	rec.Record("sweep_admit", obs.F("grid", "small"))
+	rec.Record(dynamic)        // want `event name must be a string literal`
+	rec.Record("Sweep-Admit")  // want `event name "Sweep-Admit" must match`
+	rec.Record("_leading_sep") // want `event name "_leading_sep" must match`
+	rec.Record("sweep_done",
+		obs.F("Bad-Key", "v"), // want `event field key "Bad-Key" must match`
+		obs.F(dynamic, "v"))   // want `event field key must be a string literal`
+
+	runs.NewRun("sweep", "grid", 1, 1)
+	runs.NewRun(dynamic, "grid", 1, 1)     // want `run kind must be a string literal`
+	runs.NewRun("Hot Sweep", "grid", 1, 1) // want `run kind "Hot Sweep" must match`
+
+	_ = obs.Field{Key: "also-bad key", Value: "v"} // want `event field key "also-bad key" must match`
+}

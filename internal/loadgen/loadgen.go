@@ -1,0 +1,295 @@
+// Package loadgen is the closed-loop load generator behind
+// cmd/idonly-loadgen: a fixed pool of workers drives mixed hot/cold
+// sweep traffic at an idonly-serve instance, measures per-request
+// latency into obs.Histograms, and folds the run into a LOAD_N.json
+// artifact — p50/p90/p99, error rate, cache-hit ratio — that diffs
+// against a checked-in baseline the same way BENCH_N.json snapshots
+// gate allocs/op.
+//
+// Traffic model: each worker loops request-after-request (closed loop,
+// so concurrency — not offered rate — is the controlled variable).
+// A request is *hot* with probability Config.HotFraction: the same
+// small grid every time, fully cache-served after the warmup sweep.
+// Otherwise it is *cold*: a single-scenario grid with a never-repeated
+// seed, so the server must simulate and persist it. The mix exercises
+// both the store's ReadAt path and the compute path under contention.
+//
+// Everything here is standard library only, matching the module's
+// zero-dependency constraint.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idonly/internal/obs"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	BaseURL     string        // e.g. http://127.0.0.1:8080
+	Concurrency int           // closed-loop workers; <= 0 means 4
+	Duration    time.Duration // measurement window; <= 0 means 10s
+	HotFraction float64       // probability a request is hot; outside (0,1] means 0.8
+	Seed        int64         // seeds the per-worker mix RNG and the cold-seed space
+	Label       string        // recorded in the artifact
+	Client      *http.Client  // nil means a 30s-timeout client
+}
+
+// Result is the LOAD_N.json artifact: one load run reduced to the
+// numbers the SLO gate and a human reading CI both need.
+type Result struct {
+	Label         string  `json:"label"`
+	DurationNS    int64   `json:"duration_ns"`
+	Concurrency   int     `json:"concurrency"`
+	HotFraction   float64 `json:"hot_fraction"`
+	Requests      int64   `json:"requests"` // completed 200s (the latency samples)
+	Hot           int64   `json:"hot"`
+	Cold          int64   `json:"cold"`
+	Errors        int64   `json:"errors"`   // non-2xx other than 429, and transport failures
+	Rejected      int64   `json:"rejected"` // 429s from the in-flight bound
+	ErrorRate     float64 `json:"error_rate"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanNS        int64   `json:"mean_ns"`
+	P50NS         int64   `json:"p50_ns"`
+	P90NS         int64   `json:"p90_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	HotP99NS      int64   `json:"hot_p99_ns"`
+	ColdP99NS     int64   `json:"cold_p99_ns"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"` // from the server's /v1/stats delta
+}
+
+// hotBody is the hot grid: four scenarios, cache-served after warmup.
+const hotBody = `{"grid": {"name": "loadgen-hot",
+	"protocols": ["consensus"], "adversaries": ["silent"],
+	"sizes": [7], "seeds": [1, 2, 3, 4]}}`
+
+// coldBody builds a single-scenario grid under a never-repeated seed,
+// forcing the server onto the compute path.
+func coldBody(seed uint64) string {
+	return fmt.Sprintf(`{"grid": {"name": "loadgen-cold",
+	"protocols": ["consensus"], "adversaries": ["silent"],
+	"sizes": [7], "seeds": [%d]}}`, seed)
+}
+
+// statsView is the slice of GET /v1/stats the generator reads.
+type statsView struct {
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// Run executes one load run: warm the hot grid, drive Concurrency
+// closed-loop workers for Duration, and reduce the histograms into a
+// Result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
+		cfg.HotFraction = 0.8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	if err := warmup(client, cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("loadgen: warmup: %w", err)
+	}
+	before, err := readStats(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading pre-run stats: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	latAll := reg.Histogram("idonly_loadgen_request_seconds",
+		"Per-request sweep latency observed by the load generator.",
+		obs.RequestBuckets)
+	latHot := reg.Histogram("idonly_loadgen_hot_request_seconds",
+		"Hot (cache-served) request latency.", obs.RequestBuckets)
+	latCold := reg.Histogram("idonly_loadgen_cold_request_seconds",
+		"Cold (computed) request latency.", obs.RequestBuckets)
+
+	var requests, hot, cold, errors, rejected atomic.Int64
+	var sumNS atomic.Int64
+	var coldSeq atomic.Int64
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for time.Now().Before(deadline) {
+				isHot := rng.Float64() < cfg.HotFraction
+				body := hotBody
+				if !isHot {
+					// A distinct seed space per run keeps cold requests
+					// cold even against a store warmed by earlier runs.
+					body = coldBody(uint64(cfg.Seed)<<24 + uint64(coldSeq.Add(1)))
+				}
+				reqStart := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/sweep?format=canonical",
+					"application/json", bytes.NewReader([]byte(body)))
+				lat := time.Since(reqStart)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					requests.Add(1)
+					sumNS.Add(lat.Nanoseconds())
+					latAll.Observe(lat.Seconds())
+					if isHot {
+						hot.Add(1)
+						latHot.Observe(lat.Seconds())
+					} else {
+						cold.Add(1)
+						latCold.Observe(lat.Seconds())
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					// Closed loop: back off briefly instead of hammering
+					// the in-flight bound into a 429 storm.
+					rejected.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				default:
+					errors.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := readStats(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading post-run stats: %w", err)
+	}
+
+	res := &Result{
+		Label:       cfg.Label,
+		DurationNS:  elapsed.Nanoseconds(),
+		Concurrency: cfg.Concurrency,
+		HotFraction: cfg.HotFraction,
+		Requests:    requests.Load(),
+		Hot:         hot.Load(),
+		Cold:        cold.Load(),
+		Errors:      errors.Load(),
+		Rejected:    rejected.Load(),
+		P50NS:       int64(latAll.Quantile(0.5) * 1e9),
+		P90NS:       int64(latAll.Quantile(0.9) * 1e9),
+		P99NS:       int64(latAll.Quantile(0.99) * 1e9),
+		HotP99NS:    int64(latHot.Quantile(0.99) * 1e9),
+		ColdP99NS:   int64(latCold.Quantile(0.99) * 1e9),
+	}
+	if attempts := res.Requests + res.Errors + res.Rejected; attempts > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(attempts)
+	}
+	if res.Requests > 0 {
+		res.MeanNS = sumNS.Load() / res.Requests
+		res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	if dh, dm := after.CacheHits-before.CacheHits, after.CacheMisses-before.CacheMisses; dh+dm > 0 {
+		res.CacheHitRatio = float64(dh) / float64(dh+dm)
+	}
+	return res, nil
+}
+
+// warmup sweeps the hot grid once so measured hot requests are really
+// cache hits, retrying through 429s while the server settles.
+func warmup(client *http.Client, baseURL string) error {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := client.Post(baseURL+"/v1/sweep?format=canonical",
+			"application/json", bytes.NewReader([]byte(hotBody)))
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests:
+			lastErr = fmt.Errorf("warmup sweep got 429")
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return fmt.Errorf("warmup sweep got %d", resp.StatusCode)
+		}
+	}
+	return lastErr
+}
+
+func readStats(client *http.Client, baseURL string) (statsView, error) {
+	var sv statsView
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return sv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sv, fmt.Errorf("GET /v1/stats: %d", resp.StatusCode)
+	}
+	return sv, json.NewDecoder(resp.Body).Decode(&sv)
+}
+
+// Gate compares a fresh run against the checked-in baseline: it fails
+// on a p99 regression beyond maxRatio (and beyond slack, so microsecond
+// baselines don't trip on scheduler noise) or on an error rate above
+// 1%. A fresh run with no successful requests always fails.
+func Gate(fresh, baseline *Result, maxRatio float64, slack time.Duration) error {
+	if fresh.Requests == 0 {
+		return fmt.Errorf("loadgen gate: no successful requests (errors=%d rejected=%d)",
+			fresh.Errors, fresh.Rejected)
+	}
+	if fresh.ErrorRate > 0.01 {
+		return fmt.Errorf("loadgen gate: error rate %.2f%% exceeds 1%%", fresh.ErrorRate*100)
+	}
+	limit := int64(float64(baseline.P99NS) * maxRatio)
+	if fresh.P99NS > limit && fresh.P99NS-baseline.P99NS > slack.Nanoseconds() {
+		return fmt.Errorf("loadgen gate: p99 %s exceeds %.1fx baseline %s (limit %s)",
+			time.Duration(fresh.P99NS), maxRatio,
+			time.Duration(baseline.P99NS), time.Duration(limit))
+	}
+	return nil
+}
+
+// WriteFile writes the artifact as indented JSON.
+func WriteFile(path string, res *Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads a LOAD_N.json artifact.
+func ReadFile(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding %s: %w", path, err)
+	}
+	return &res, nil
+}

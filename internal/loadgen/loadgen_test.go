@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mockServe imitates the slice of idonly-serve the generator touches:
+// POST /v1/sweep distinguishes hot from cold grids by name, counts
+// them into the /v1/stats cache counters, and can inject 429s.
+type mockServe struct {
+	hits, misses atomic.Int64
+	reject       atomic.Bool
+	rejected     atomic.Int64
+}
+
+func (m *mockServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if m.reject.Load() && m.rejected.Add(1)%3 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		switch {
+		case strings.Contains(string(body), "loadgen-hot"):
+			m.hits.Add(4) // the hot grid's 4 scenarios, cache-served
+		case strings.Contains(string(body), "loadgen-cold"):
+			m.misses.Add(1)
+		default:
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, `{"ok": true}`)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int64{
+			"cache_hits":   m.hits.Load(),
+			"cache_misses": m.misses.Load(),
+		})
+	})
+	return mux
+}
+
+func TestRunProducesSaneArtifact(t *testing.T) {
+	m := &mockServe{}
+	ts := httptest.NewServer(m.handler())
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 3,
+		Duration:    300 * time.Millisecond,
+		HotFraction: 0.5,
+		Seed:        42,
+		Label:       "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Hot+res.Cold != res.Requests {
+		t.Fatalf("hot %d + cold %d != requests %d", res.Hot, res.Cold, res.Requests)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("unexpected errors=%d rejected=%d", res.Errors, res.Rejected)
+	}
+	if res.P99NS <= 0 || res.P50NS <= 0 || res.P99NS < res.P50NS {
+		t.Fatalf("bad quantiles p50=%d p99=%d", res.P50NS, res.P99NS)
+	}
+	if res.ThroughputRPS <= 0 || res.MeanNS <= 0 {
+		t.Fatalf("bad rates rps=%f mean=%d", res.ThroughputRPS, res.MeanNS)
+	}
+	// With a 50/50 mix over hundreds of requests both classes fire, and
+	// the stats delta must show a mixed cache ratio strictly inside (0,1).
+	if res.Hot == 0 || res.Cold == 0 {
+		t.Fatalf("mix collapsed: hot=%d cold=%d", res.Hot, res.Cold)
+	}
+	if res.CacheHitRatio <= 0 || res.CacheHitRatio >= 1 {
+		t.Fatalf("cache hit ratio %f, want strictly between 0 and 1", res.CacheHitRatio)
+	}
+}
+
+func TestRunCountsRejections(t *testing.T) {
+	m := &mockServe{}
+	m.reject.Store(true)
+	ts := httptest.NewServer(m.handler())
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		HotFraction: 0.5,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("server injected 429s but artifact shows none")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("429s must count as rejected, not errors; got errors=%d", res.Errors)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &Result{P99NS: 100e6, Requests: 1000}
+	cases := []struct {
+		name  string
+		fresh *Result
+		ok    bool
+	}{
+		{"within ratio", &Result{P99NS: 140e6, Requests: 500}, true},
+		{"at boundary", &Result{P99NS: 150e6, Requests: 500}, true},
+		{"regressed", &Result{P99NS: 200e6, Requests: 500}, false},
+		{"no requests", &Result{Requests: 0, Errors: 10}, false},
+		{"error rate", &Result{P99NS: 50e6, Requests: 100, Errors: 5, ErrorRate: 0.05}, false},
+	}
+	for _, c := range cases {
+		err := Gate(c.fresh, base, 1.5, 5*time.Millisecond)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected gate failure: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: gate passed, want failure", c.name)
+		}
+	}
+}
+
+func TestGateSlackAbsorbsNoiseOnTinyBaselines(t *testing.T) {
+	// A 1ms baseline tripled is still within the 5ms absolute slack —
+	// microsecond-scale CI noise must not fail the build.
+	base := &Result{P99NS: 1e6, Requests: 100}
+	fresh := &Result{P99NS: 3e6, Requests: 100}
+	if err := Gate(fresh, base, 1.5, 5*time.Millisecond); err != nil {
+		t.Fatalf("slack should absorb a 2ms drift on a 1ms baseline: %v", err)
+	}
+	// But past the slack the ratio bites again.
+	fresh.P99NS = 20e6
+	if err := Gate(fresh, base, 1.5, 5*time.Millisecond); err == nil {
+		t.Fatal("19ms past a 1ms baseline must fail the gate")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOAD_0.json")
+	want := &Result{
+		Label: "rt", Requests: 123, Hot: 100, Cold: 23,
+		P50NS: 1_000_000, P99NS: 9_000_000, CacheHitRatio: 0.8,
+	}
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("ReadFile on a missing path must error")
+	}
+}

@@ -145,6 +145,13 @@ var LatencyBuckets = []float64{
 	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 25e-4, 1e-2, 5e-2, 0.25, 1, 5, 25,
 }
 
+// RequestBuckets spans 100µs to 10s in 1-2-5 steps — dense enough that
+// an interpolated p99 over HTTP request latencies moves smoothly as
+// traffic shifts, which the loadgen's SLO gate depends on.
+var RequestBuckets = []float64{
+	1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+}
+
 // kind is a family's metric type; mixing kinds under one name is a
 // registration error.
 type kind uint8

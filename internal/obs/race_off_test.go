@@ -1,0 +1,5 @@
+//go:build !race
+
+package obs
+
+const raceEnabled = false

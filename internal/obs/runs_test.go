@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRecordLifecycle(t *testing.T) {
+	reg := NewRunRegistry(8)
+	r := reg.NewRun("sweep", "small", 4, 2)
+	if r.ID() != "run-000001" {
+		t.Fatalf("first run id %q", r.ID())
+	}
+	active, completed := reg.Snapshots()
+	if len(active) != 1 || len(completed) != 0 {
+		t.Fatalf("active=%d completed=%d after NewRun", len(active), len(completed))
+	}
+
+	r.ShardStart(0, 0, "a", "d0")
+	r.ScenarioDone(0, false, false)
+	r.ScenarioDone(-1, true, false) // cache hit: no shard
+	snap := r.Snapshot()
+	if snap.State != RunRunning || snap.Done != 2 || snap.CacheHits != 1 || snap.Computed != 1 {
+		t.Fatalf("mid-run snapshot %+v", snap)
+	}
+	if snap.ETANS <= 0 {
+		t.Fatalf("running snapshot with done=2/4 has no ETA: %+v", snap)
+	}
+	if len(snap.Shards) != 2 || snap.Shards[0].Done != 1 || snap.Shards[0].Busy {
+		t.Fatalf("shard states %+v", snap.Shards)
+	}
+
+	r.ScenarioDone(1, false, true)
+	r.ScenarioDone(-1, true, false)
+	r.Finish()
+	r.Finish() // idempotent
+	got, ok := reg.Get(r.ID())
+	if !ok || got.State != RunDone || got.Done != 4 || got.Errors != 1 {
+		t.Fatalf("completed snapshot %+v ok=%v", got, ok)
+	}
+	if got.FullyCached {
+		t.Fatalf("half-computed run marked fully cached: %+v", got)
+	}
+	active, completed = reg.Snapshots()
+	if len(active) != 0 || len(completed) != 1 {
+		t.Fatalf("active=%d completed=%d after Finish", len(active), len(completed))
+	}
+}
+
+func TestRunRecordFullyCached(t *testing.T) {
+	reg := NewRunRegistry(8)
+	r := reg.NewRun("sweep", "warm", 3, 2)
+	for i := 0; i < 3; i++ {
+		r.ScenarioDone(-1, true, false)
+	}
+	r.Finish()
+	snap, _ := reg.Get(r.ID())
+	if !snap.FullyCached {
+		t.Fatalf("all-hits run not marked fully cached: %+v", snap)
+	}
+}
+
+func TestRunRegistryBoundedRing(t *testing.T) {
+	reg := NewRunRegistry(3)
+	for i := 0; i < 5; i++ {
+		reg.NewRun("sweep", "", 0, 0).Finish()
+	}
+	_, completed := reg.Snapshots()
+	if len(completed) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(completed))
+	}
+	if completed[0].ID != "run-000005" || completed[2].ID != "run-000003" {
+		t.Fatalf("ring kept wrong runs: %v, %v", completed[0].ID, completed[2].ID)
+	}
+	if _, ok := reg.Get("run-000001"); ok {
+		t.Fatal("evicted run still retrievable")
+	}
+}
+
+func TestSlowShardsFireOnce(t *testing.T) {
+	reg := NewRunRegistry(1)
+	r := reg.NewRun("sweep", "", 2, 2)
+	r.ShardStart(0, 7, "slow-cell", "digest-7")
+	time.Sleep(5 * time.Millisecond)
+	slow := r.SlowShards(time.Millisecond)
+	if len(slow) != 1 || slow[0].Seq != 7 || slow[0].Digest != "digest-7" {
+		t.Fatalf("slow shards %+v", slow)
+	}
+	if again := r.SlowShards(time.Millisecond); len(again) != 0 {
+		t.Fatalf("watchdog fired twice for one scenario: %+v", again)
+	}
+	// A new scenario on the same shard re-arms it.
+	r.ShardStart(0, 8, "next-cell", "digest-8")
+	time.Sleep(5 * time.Millisecond)
+	if rearmed := r.SlowShards(time.Millisecond); len(rearmed) != 1 || rearmed[0].Seq != 8 {
+		t.Fatalf("watchdog did not re-arm: %+v", rearmed)
+	}
+}
+
+func TestNilRunRecordAndRegistry(t *testing.T) {
+	var reg *RunRegistry
+	r := reg.NewRun("sweep", "", 1, 1)
+	if r != nil {
+		t.Fatal("nil registry minted a run")
+	}
+	r.ShardStart(0, 0, "", "")
+	r.ScenarioDone(0, false, false)
+	r.Finish()
+	if id := r.ID(); id != "" {
+		t.Fatalf("nil record has id %q", id)
+	}
+	if _, ok := reg.Get("run-000001"); ok {
+		t.Fatal("nil registry resolved a run")
+	}
+}

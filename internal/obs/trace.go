@@ -37,7 +37,14 @@ func (t *TraceWriter) Write(rec any) error {
 		t.err = err
 		return err
 	}
-	if _, err := t.bw.Write(append(b, '\n')); err != nil {
+	// The newline is written separately: append(b, '\n') would copy the
+	// whole marshalled line when json.Marshal returns a full backing
+	// array, costing one allocation per record on large sweeps.
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return t.err
+	}
+	if err := t.bw.WriteByte('\n'); err != nil {
 		t.err = err
 	}
 	return t.err

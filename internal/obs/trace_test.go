@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestTraceWriterLines(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	type rec struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	for i := 0; i < 3; i++ {
+		if err := tw.Write(&rec{Name: "s", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		if got := sc.Text(); got[0] != '{' || got[len(got)-1] != '}' {
+			t.Fatalf("line %d is not one JSON object: %q", lines, got)
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("got %d lines, want 3", lines)
+	}
+}
+
+// TestTraceWriterWriteAllocs pins Write's per-record allocation count:
+// json.Marshal's own buffer is the only allocation. The old
+// append(b, '\n') copied the whole marshalled line — one extra
+// allocation per record, paid once per scenario on traced sweeps.
+func TestTraceWriterWriteAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin only holds uninstrumented")
+	}
+	tw := NewTraceWriter(io.Discard)
+	rec := &struct {
+		Scenario string `json:"scenario"`
+		Digest   string `json:"digest"`
+		WallNS   int64  `json:"wall_ns"`
+	}{Scenario: "consensus/silent/n=7/f=2/seed=1", Digest: "abcd", WallNS: 12345}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := tw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("TraceWriter.Write allocates %.1f times per record, want <= 1 (json.Marshal only)", allocs)
+	}
+}

@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idonly/internal/obs"
+)
+
+// slowGridBody expands to enough scenarios that a sweep is reliably
+// still in flight while the test scrapes the progress API.
+const slowGridBody = `{"grid": {
+	"name": "runs-test",
+	"protocols": ["consensus", "rbroadcast"],
+	"adversaries": ["silent", "split"],
+	"sizes": [15],
+	"seeds": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+}}`
+
+func TestRunRecordAndFullyCachedRerun(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+
+	resp, body := postSweep(t, ts, "", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: %d: %s", resp.StatusCode, body)
+	}
+	runID := resp.Header.Get("X-Idonly-Run")
+	if runID == "" {
+		t.Fatal("sweep response carries no X-Idonly-Run header")
+	}
+
+	var cold obs.RunSnapshot
+	getJSON(t, ts, "/v1/runs/"+runID, &cold)
+	if cold.State != obs.RunDone || cold.Done != 8 || cold.Computed != 8 || cold.CacheHits != 0 {
+		t.Fatalf("cold run snapshot %+v", cold)
+	}
+	if cold.FullyCached {
+		t.Fatalf("cold run marked fully cached: %+v", cold)
+	}
+
+	// The identical sweep again: every scenario must come from the
+	// store and the run record must say so.
+	resp2, _ := postSweep(t, ts, "", testGridBody)
+	var warm obs.RunSnapshot
+	getJSON(t, ts, "/v1/runs/"+resp2.Header.Get("X-Idonly-Run"), &warm)
+	if !warm.FullyCached || warm.CacheHits != 8 || warm.Computed != 0 {
+		t.Fatalf("warm rerun not marked fully cache-served: %+v", warm)
+	}
+
+	var list RunList
+	getJSON(t, ts, "/v1/runs", &list)
+	if len(list.Active) != 0 || len(list.Completed) != 2 {
+		t.Fatalf("run list active=%d completed=%d, want 0/2", len(list.Active), len(list.Completed))
+	}
+	if list.Completed[0].ID != warm.ID || list.Completed[1].ID != cold.ID {
+		t.Fatalf("completed runs not newest-first: %s, %s", list.Completed[0].ID, list.Completed[1].ID)
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/runs/run-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run returned %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestWatchStreamsMonotonicProgress starts a sweep in the background,
+// attaches a watcher to the live run, and asserts the streamed
+// done-counts never decrease and end at the full scenario count.
+func TestWatchStreamsMonotonicProgress(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(slowGridBody))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Find the live run; the sweep may finish first on a fast machine,
+	// in which case the watch still must emit one final snapshot.
+	var runID string
+	for i := 0; i < 200 && runID == ""; i++ {
+		var list RunList
+		getJSON(t, ts, "/v1/runs", &list)
+		if len(list.Active) > 0 {
+			runID = list.Active[0].ID
+		} else if len(list.Completed) > 0 {
+			runID = list.Completed[0].ID
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if runID == "" {
+		t.Fatal("no run appeared in /v1/runs")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + runID + "/watch?interval_ms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	var snaps []obs.RunSnapshot
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var snap obs.RunSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("bad watch line %q: %v", sc.Text(), err)
+		}
+		snaps = append(snaps, snap)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	<-sweepDone
+
+	if len(snaps) == 0 {
+		t.Fatal("watch stream emitted no snapshots")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Done < snaps[i-1].Done {
+			t.Fatalf("done-count regressed: %d after %d", snaps[i].Done, snaps[i-1].Done)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.State != obs.RunDone || last.Done != 40 || last.Total != 40 {
+		t.Fatalf("final snapshot %+v, want done state with 40/40", last)
+	}
+}
+
+// TestConcurrentScrapesDuringSweep hammers /metrics, /v1/runs, and
+// /v1/stats while a sweep is in flight — the scrape-while-sweeping
+// interleaving, exercised under `go test -race`.
+func TestConcurrentScrapesDuringSweep(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(slowGridBody))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/v1/runs", "/v1/stats", "/debug/events"} {
+		for k := 0; k < 2; k++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-sweepDone:
+						return
+					default:
+					}
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}(path)
+		}
+	}
+	// One watcher riding along the live sweep, same race surface.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var list RunList
+		getJSON(t, ts, "/v1/runs", &list)
+		if len(list.Active) == 0 {
+			return
+		}
+		resp, err := http.Get(ts.URL + "/v1/runs/" + list.Active[0].ID + "/watch?interval_ms=10")
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	wg.Wait()
+	<-sweepDone
+}
+
+// TestWatchdogFiresOnSlowScenario pins a shard on one scenario past
+// the deadline and drives the watchdog loop directly — deterministic,
+// where a real sweep would have to lose a timing race to trip it. The
+// flight recorder must hold the event with the offending digest and
+// the goroutine dump must land in the configured writer.
+func TestWatchdogFiresOnSlowScenario(t *testing.T) {
+	var dump bytes.Buffer
+	var mu sync.Mutex
+	svc, _ := newTestService(t, Config{
+		Workers:          1,
+		ScenarioDeadline: time.Millisecond,
+		WatchdogDump:     syncWriter{mu: &mu, w: &dump},
+	})
+	digest := strings.Repeat("ab", 32)
+	run := svc.Runs().NewRun("sweep", "wd-test", 1, 1)
+	run.ShardStart(0, 0, "slow-cell", digest)
+	stop := make(chan struct{})
+	watchdogDone := make(chan struct{})
+	go func() { defer close(watchdogDone); svc.watchdog(run, stop) }()
+
+	var fired []obs.Event
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline) && len(fired) == 0; {
+		for _, ev := range svc.Events().Events() {
+			if ev.Name == "watchdog_slow_scenario" {
+				fired = append(fired, ev)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-watchdogDone
+	run.ScenarioDone(0, false, false)
+	run.Finish()
+
+	if len(fired) == 0 {
+		t.Fatal("watchdog recorded no slow-scenario events")
+	}
+	ev := fired[0]
+	if ev.Fields["digest"] != digest || ev.Fields["scenario"] != "slow-cell" || ev.Fields["run"] != run.ID() {
+		t.Fatalf("watchdog event fields %+v", ev.Fields)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(dump.String(), "goroutines:") || !strings.Contains(dump.String(), "goroutine ") {
+		t.Fatalf("watchdog dump carries no goroutine stacks: %.200s", dump.String())
+	}
+	if !strings.Contains(dump.String(), digest) {
+		t.Fatal("watchdog dump does not name the offending digest")
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
+}
+
+func TestEventsEndpointAndStoreHooks(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody) // cold: admit + store append + done
+	postSweep(t, ts, "", testGridBody) // warm: admit + done
+
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	var names []string
+	var lastSeq uint64
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if len(names) > 0 && ev.Seq <= lastSeq {
+			t.Fatalf("events out of seq order: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		names = append(names, ev.Name)
+	}
+	want := []string{"sweep_admit", "store_append", "sweep_done", "sweep_admit", "sweep_done"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("event stream %v, want %v", names, want)
+	}
+}
+
+func TestStatsHTTPQuantiles(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 2})
+	postSweep(t, ts, "", testGridBody)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	snap := svc.Snapshot()
+	if len(snap.HTTP) == 0 {
+		t.Fatal("stats carry no HTTP latency digests")
+	}
+	byEP := map[string]EndpointLatency{}
+	for i, el := range snap.HTTP {
+		if i > 0 && el.Endpoint < snap.HTTP[i-1].Endpoint {
+			t.Fatalf("HTTP digests not sorted by endpoint: %v", snap.HTTP)
+		}
+		byEP[el.Endpoint] = el
+	}
+	hz, ok := byEP["healthz"]
+	if !ok || hz.Count != 3 {
+		t.Fatalf("healthz digest %+v (ok=%v), want count 3", hz, ok)
+	}
+	sweep, ok := byEP["sweep"]
+	if !ok || sweep.Count != 1 || sweep.P99NS <= 0 || sweep.P50NS > sweep.P99NS {
+		t.Fatalf("sweep digest %+v", sweep)
+	}
+	if _, ok := byEP["metrics"]; ok {
+		t.Fatal("unhit endpoint reported a latency digest")
+	}
+
+	// And over HTTP, the JSON form.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Counters
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.HTTP) == 0 {
+		t.Fatal("GET /v1/stats JSON carries no http digests")
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, into any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, into); err != nil {
+		t.Fatalf("GET %s: decoding %q: %v", path, b, err)
+	}
+}

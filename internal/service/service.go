@@ -16,7 +16,14 @@
 //	GET  /v1/result/{digest} one stored result by scenario digest
 //	GET  /v1/healthz        liveness + store record count
 //	GET  /v1/stats          hit/miss/latency counters + store stats
+//	GET  /v1/runs           live + recently completed run records
+//	GET  /v1/runs/{id}      one run's progress snapshot
+//	GET  /v1/runs/{id}/watch NDJSON stream of progress snapshots,
+//	                        emitted as the done-count advances, until
+//	                        the run completes (?interval_ms tunes the
+//	                        poll cadence, default 100)
 //	GET  /metrics           Prometheus text exposition of the registry
+//	GET  /debug/events      flight-recorder dump, NDJSON in seq order
 //	/debug/pprof/*          runtime profiles, when Config.EnablePprof
 //
 // Sweeps are bounded two ways: at most Config.MaxInFlight run
@@ -35,8 +42,11 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	netpprof "net/http/pprof"
+	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,6 +76,27 @@ type Config struct {
 	// and backs GET /metrics; nil means a fresh private registry.
 	Registry *obs.Registry
 
+	// Runs tracks every sweep as a live run record behind GET /v1/runs;
+	// nil means a fresh private registry. RunHistory bounds the ring of
+	// completed runs it retains (<= 0 means 64).
+	Runs       *obs.RunRegistry
+	RunHistory int
+
+	// Events is the flight recorder behind GET /debug/events; nil means
+	// a fresh private recorder keeping the last EventBuffer events
+	// (<= 0 means 1024).
+	Events      *obs.Recorder
+	EventBuffer int
+
+	// ScenarioDeadline arms the slow-scenario watchdog: while a sweep
+	// runs, any worker shard that holds one scenario longer than this
+	// records a watchdog_slow_scenario event (with the offending
+	// ScenarioDigest) and dumps all goroutine stacks to WatchdogDump
+	// (default os.Stderr), once per (shard, scenario). Zero disables
+	// the watchdog.
+	ScenarioDeadline time.Duration
+	WatchdogDump     io.Writer
+
 	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
 	// default: profiles expose timing internals and cost CPU to take,
 	// so they are opt-in per process.
@@ -92,6 +123,16 @@ type SweepTrailer struct {
 	ElapsedNS    int64          `json:"elapsed_ns"`
 }
 
+// EndpointLatency is one endpoint's HTTP-latency digest in the
+// GET /v1/stats payload: histogram-estimated p50/p99 over the same
+// samples /metrics exposes as raw buckets.
+type EndpointLatency struct {
+	Endpoint string `json:"endpoint"`
+	Count    int64  `json:"count"`
+	P50NS    int64  `json:"p50_ns"`
+	P99NS    int64  `json:"p99_ns"`
+}
+
 // Counters is the GET /v1/stats payload. Every field is read from the
 // metrics registry; the JSON names predate the registry and stay
 // byte-compatible. SweepNSP50/P99 are histogram-derived estimates over
@@ -109,15 +150,23 @@ type Counters struct {
 	SweepNSP50      int64       `json:"sweep_ns_p50"`     // histogram-estimated median sweep latency
 	SweepNSP99      int64       `json:"sweep_ns_p99"`     // histogram-estimated p99 sweep latency
 	Store           store.Stats `json:"store"`
+
+	// HTTP digests the per-endpoint request-latency histograms —
+	// quantiles instead of the raw bucket counts /metrics serves.
+	// Endpoints with no traffic yet are omitted; entries sort by
+	// endpoint name.
+	HTTP []EndpointLatency `json:"http"`
 }
 
 // Service is the handler. Safe for concurrent use.
 type Service struct {
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{}
-	reg *obs.Registry
-	eo  *engine.Obs
+	cfg    Config
+	mux    *http.ServeMux
+	sem    chan struct{}
+	reg    *obs.Registry
+	eo     *engine.Obs
+	runs   *obs.RunRegistry
+	events *obs.Recorder
 
 	sweeps       *obs.Counter   // idonly_sweeps_total
 	rejected     *obs.Counter   // idonly_sweeps_rejected_total
@@ -126,6 +175,17 @@ type Service struct {
 	sweepNSTotal *obs.Counter   // idonly_sweep_wall_ns_total
 	lastSweepNS  *obs.Gauge     // idonly_sweep_last_ns
 	sweepLat     *obs.Histogram // idonly_sweep_seconds
+	watchdogHits *obs.Counter   // idonly_watchdog_fires_total
+
+	// httpLat holds the per-endpoint latency series, preregistered for
+	// the full bounded endpoint-label set so ServeHTTP observes into a
+	// held pointer instead of taking the registry lock per request.
+	httpLat map[string]*obs.Histogram
+}
+
+// endpointLabels is the full bounded label set endpointLabel can emit.
+var endpointLabels = []string{
+	"sweep", "result", "healthz", "stats", "runs", "metrics", "events", "pprof", "other",
 }
 
 const (
@@ -148,13 +208,29 @@ func New(cfg Config) *Service {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 100000
 	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 1024
+	}
+	if cfg.WatchdogDump == nil {
+		cfg.WatchdogDump = os.Stderr
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight), reg: reg}
+	runs := cfg.Runs
+	if runs == nil {
+		runs = obs.NewRunRegistry(cfg.RunHistory)
+	}
+	events := cfg.Events
+	if events == nil {
+		events = obs.NewRecorder(cfg.EventBuffer)
+	}
+	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight), reg: reg,
+		runs: runs, events: events}
 	s.eo = engine.NewObs(reg)
 	cfg.Store.Instrument(reg)
+	cfg.Store.RecordEvents(events)
 	s.sweeps = reg.Counter("idonly_sweeps_total", "Sweeps completed.")
 	s.rejected = reg.Counter("idonly_sweeps_rejected_total",
 		"Sweeps rejected by the in-flight bound (HTTP 429).")
@@ -171,12 +247,23 @@ func New(cfg Config) *Service {
 	reg.GaugeFunc("idonly_sweeps_in_flight",
 		"Sweeps currently running.",
 		func() float64 { return float64(len(s.sem)) })
+	s.watchdogHits = reg.Counter("idonly_watchdog_fires_total",
+		"Slow-scenario watchdog fires: shards that held one scenario past the deadline.")
+	s.httpLat = make(map[string]*obs.Histogram, len(endpointLabels))
+	for _, ep := range endpointLabels {
+		s.httpLat[ep] = reg.Histogram("idonly_http_request_seconds", reqLatHelp,
+			obs.LatencyBuckets, obs.L("endpoint", ep))
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/result/{digest}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/watch", s.handleRunWatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", netpprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
@@ -191,6 +278,12 @@ func New(cfg Config) *Service {
 // it to add process-level families or render it out of band.
 func (s *Service) Registry() *obs.Registry { return s.reg }
 
+// Runs returns the run registry behind GET /v1/runs.
+func (s *Service) Runs() *obs.RunRegistry { return s.runs }
+
+// Events returns the flight recorder behind GET /debug/events.
+func (s *Service) Events() *obs.Recorder { return s.events }
+
 // endpointLabel maps a request path onto a bounded label set —
 // digests, pprof profile names, and arbitrary junk paths must not mint
 // unbounded metric series.
@@ -204,8 +297,12 @@ func endpointLabel(path string) string {
 		return "healthz"
 	case path == "/v1/stats":
 		return "stats"
+	case path == "/v1/runs" || strings.HasPrefix(path, "/v1/runs/"):
+		return "runs"
 	case path == "/metrics":
 		return "metrics"
+	case path == "/debug/events":
+		return "events"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "pprof"
 	default:
@@ -244,16 +341,32 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ep := endpointLabel(r.URL.Path)
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
+	// A panic unwinding past the handler is exactly the incident the
+	// flight recorder exists for: dump it to stderr before net/http
+	// swallows the goroutine, then re-panic so the connection still
+	// aborts loudly.
+	defer func() {
+		if p := recover(); p != nil {
+			s.events.Record("http_panic", obs.F("endpoint", ep))
+			fmt.Fprintf(os.Stderr, "idonly-serve: panic serving %s: %v\nflight recorder:\n", r.URL.Path, p)
+			s.events.WriteNDJSON(os.Stderr)
+			panic(p)
+		}
+	}()
 	s.mux.ServeHTTP(sw, r)
 	if sw.code == 0 {
 		sw.code = http.StatusOK
 	}
-	// Registration is idempotent, so the per-request lookups resolve to
-	// the same series; the label space is bounded by endpointLabel.
-	s.reg.Histogram("idonly_http_request_seconds", reqLatHelp, obs.LatencyBuckets,
-		obs.L("endpoint", ep)).ObserveSince(start)
+	// The latency series is preregistered per endpoint; only the
+	// counter goes through the (idempotent) registry lookup, because
+	// its label set also carries the response code.
+	s.httpLat[ep].ObserveSince(start)
 	s.reg.Counter("idonly_http_requests_total", reqHelp,
 		obs.L("endpoint", ep), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	if sw.code >= http.StatusInternalServerError {
+		s.events.Record("http_error",
+			obs.F("endpoint", ep), obs.F("code", strconv.Itoa(sw.code)))
+	}
 }
 
 // httpError writes a one-line JSON error body.
@@ -370,12 +483,29 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.rejected.Inc()
+		s.events.Record("sweep_reject",
+			obs.F("reason", "in_flight_limit"),
+			obs.F("scenarios", strconv.Itoa(len(specs))))
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%d sweeps already in flight", s.cfg.MaxInFlight)
 		return
 	}
 
-	hooks := engine.Hooks{Obs: s.eo}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run := s.runs.NewRun("sweep", gridName, len(specs), workers)
+	w.Header().Set("X-Idonly-Run", run.ID())
+	s.events.Record("sweep_admit",
+		obs.F("run", run.ID()),
+		obs.F("scenarios", strconv.Itoa(len(specs))))
+	stopWatch := make(chan struct{})
+	if s.cfg.ScenarioDeadline > 0 {
+		go s.watchdog(run, stopWatch)
+	}
+
+	hooks := engine.Hooks{Obs: s.eo, Run: run}
 	var spanMu sync.Mutex
 	var spans []engine.Span
 	if traced {
@@ -389,11 +519,19 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	rep, stats, err := store.CachedRunAll(s.cfg.Store, specs, engine.Options{
 		Workers: s.cfg.Workers, Grid: gridName, Hooks: hooks,
 	})
+	close(stopWatch)
+	run.Finish()
 	if err != nil {
+		s.events.Record("sweep_failed", obs.F("run", run.ID()))
 		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
 		return
 	}
 	elapsed := time.Since(start)
+	s.events.Record("sweep_done",
+		obs.F("run", run.ID()),
+		obs.F("elapsed_ns", strconv.FormatInt(elapsed.Nanoseconds(), 10)),
+		obs.F("cache_hits", strconv.Itoa(stats.Hits)),
+		obs.F("computed", strconv.Itoa(stats.Misses)))
 	s.sweeps.Inc()
 	s.scenarios.Add(int64(len(specs)))
 	s.sweepNSTotal.Add(elapsed.Nanoseconds())
@@ -502,7 +640,23 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // Snapshot returns the current counters (also served at /v1/stats).
 func (s *Service) Snapshot() Counters {
+	var http_ []EndpointLatency
+	for _, ep := range endpointLabels {
+		h := s.httpLat[ep]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		http_ = append(http_, EndpointLatency{
+			Endpoint: ep,
+			Count:    n,
+			P50NS:    int64(h.Quantile(0.5) * 1e9),
+			P99NS:    int64(h.Quantile(0.99) * 1e9),
+		})
+	}
+	sort.Slice(http_, func(i, j int) bool { return http_[i].Endpoint < http_[j].Endpoint })
 	return Counters{
+		HTTP:            http_,
 		Sweeps:          s.sweeps.Value(),
 		SweepsInFlight:  int64(len(s.sem)),
 		SweepsRejected:  s.rejected.Value(),

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"strconv"
+
 	"idonly/internal/obs"
 )
 
@@ -53,4 +55,19 @@ func (s *Store) Instrument(reg *obs.Registry) {
 			"PutBatch latency: encode, append, fsync, index publish.",
 			obs.LatencyBuckets),
 	})
+}
+
+// RecordEvents attaches a flight recorder: every batch append lands as
+// a store_append event, and a store whose open-time recovery truncated
+// a corrupt tail reports it once, immediately — the recorder attaches
+// after Open, but the loss belongs in the incident record.
+func (s *Store) RecordEvents(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.events.Store(rec)
+	if s.truncated > 0 {
+		rec.Record("store_recover",
+			obs.F("truncated_bytes", strconv.FormatInt(s.truncated, 10)))
+	}
 }

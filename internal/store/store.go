@@ -33,11 +33,13 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"idonly/internal/engine"
+	"idonly/internal/obs"
 )
 
 const (
@@ -101,6 +103,11 @@ type Store struct {
 	// until then, so the uninstrumented hot path pays one atomic load
 	// per Get/PutBatch and nothing else.
 	inst atomic.Pointer[instruments]
+
+	// events is the optional flight recorder attached by RecordEvents;
+	// appends and recoveries land there as structured events. Same
+	// nil-check contract as inst.
+	events atomic.Pointer[obs.Recorder]
 }
 
 // Open opens (creating if needed) the store rooted at dir. A torn or
@@ -349,6 +356,11 @@ func (s *Store) PutBatch(results []engine.Result) error {
 	}
 	s.imu.Unlock()
 	s.puts.Add(int64(len(stage)))
+	if rec := s.events.Load(); rec != nil {
+		rec.Record("store_append",
+			obs.F("records", strconv.Itoa(len(stage))),
+			obs.F("bytes", strconv.Itoa(len(buf))))
+	}
 	return nil
 }
 
