@@ -1,21 +1,28 @@
-// Command idonly-loadgen drives mixed hot/cold sweep traffic at a
+// Command idonly-loadgen drives mixed hot/dup/cold sweep traffic at a
 // running idonly-serve and writes a LOAD_N.json latency artifact.
 //
 // Usage:
 //
 //	idonly-loadgen -addr http://127.0.0.1:8080            # 10s, 4 workers, 80% hot
 //	idonly-loadgen -c 8 -duration 30s -hot 0.5            # heavier mix
-//	idonly-loadgen -out LOAD_1.json -label pr9            # name the artifact
-//	idonly-loadgen -load-baseline LOAD_0.json             # also gate: exit 1 on a
-//	                                                      # >1.5x p99 regression or
-//	                                                      # >1% error rate
-//	idonly-loadgen -load-baseline LOAD_0.json -max-p99-ratio 2.0
+//	idonly-loadgen -dup 0.15 -dup-epoch 2s                # duplicate traffic: every
+//	                                                      # worker replays one shared
+//	                                                      # grid per epoch, so copies
+//	                                                      # must coalesce server-side
+//	idonly-loadgen -out LOAD_1.json -label pr10           # name the artifact
+//	idonly-loadgen -load-baseline LOAD_1.json             # also gate: exit 1 on a
+//	                                                      # >1.5x p99 regression,
+//	                                                      # >1% error rate, or <95%
+//	                                                      # dup coverage
+//	idonly-loadgen -load-baseline LOAD_1.json -max-p99-ratio 2.0
 //
 // Hot requests replay one small fixed grid (cache-served after an
-// initial warmup sweep); cold requests carry a never-repeated seed, so
-// the server must simulate and persist them. The gate mirrors the
-// BENCH_*.json allocs/op gate: CI keeps LOAD_0.json checked in and
-// fails the build when live p99 drifts past the ratio.
+// initial warmup sweep); dup requests replay the current epoch's shared
+// never-seen grid, exercising the server's request coalescing; cold
+// requests carry a never-repeated seed, so the server must simulate and
+// persist them. The gate mirrors the BENCH_*.json allocs/op gate: CI
+// keeps a LOAD_N.json checked in and fails the build when live p99
+// drifts past the ratio or duplicate traffic stops being absorbed.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	concurrency := fs.Int("c", 4, "closed-loop worker count")
 	duration := fs.Duration("duration", 10*time.Second, "measurement window")
 	hot := fs.Float64("hot", 0.8, "fraction of requests replaying the hot (cache-served) grid")
+	dup := fs.Float64("dup", 0, "fraction of requests replaying the shared per-epoch duplicate grid")
+	dupEpoch := fs.Duration("dup-epoch", time.Second, "how long all workers share one duplicate grid")
 	seed := fs.Int64("seed", 1, "seed for the traffic mix and the cold-scenario space")
 	label := fs.String("label", "", "label recorded in the artifact")
 	out := fs.String("out", "LOAD_0.json", "artifact path")
@@ -49,24 +58,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(logger, *addr, *concurrency, *duration, *hot, *seed, *label, *out, *baseline, *maxRatio); err != nil {
+	cfg := loadgen.Config{
+		BaseURL:     *addr,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		HotFraction: *hot,
+		Dup:         *dup,
+		DupEpoch:    *dupEpoch,
+		Seed:        *seed,
+		Label:       *label,
+	}
+	if err := run(logger, cfg, *out, *baseline, *maxRatio); err != nil {
 		logger.Error("loadgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, addr string, concurrency int, duration time.Duration,
-	hot float64, seed int64, label, out, baseline string, maxRatio float64) error {
+func run(logger *slog.Logger, cfg loadgen.Config, out, baseline string, maxRatio float64) error {
 	logger.Info("starting load run",
-		"addr", addr, "workers", concurrency, "duration", duration, "hot", hot)
-	res, err := loadgen.Run(loadgen.Config{
-		BaseURL:     addr,
-		Concurrency: concurrency,
-		Duration:    duration,
-		HotFraction: hot,
-		Seed:        seed,
-		Label:       label,
-	})
+		"addr", cfg.BaseURL, "workers", cfg.Concurrency, "duration", cfg.Duration,
+		"hot", cfg.HotFraction, "dup", cfg.Dup)
+	res, err := loadgen.Run(cfg)
 	if err != nil {
 		return err
 	}
@@ -77,7 +89,9 @@ func run(logger *slog.Logger, addr string, concurrency int, duration time.Durati
 		"rps", fmt.Sprintf("%.1f", res.ThroughputRPS),
 		"p50", time.Duration(res.P50NS),
 		"p99", time.Duration(res.P99NS),
-		"cache_hit_ratio", fmt.Sprintf("%.3f", res.CacheHitRatio))
+		"cache_hit_ratio", fmt.Sprintf("%.3f", res.CacheHitRatio),
+		"dup_coverage", fmt.Sprintf("%.3f", res.DupCoverage),
+		"coalesced", res.Coalesced)
 	if err := loadgen.WriteFile(out, res); err != nil {
 		return fmt.Errorf("writing %s: %w", out, err)
 	}

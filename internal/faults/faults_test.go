@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsFree(t *testing.T) {
+	var s *Set
+	if err := s.Check("anything"); err != nil {
+		t.Fatalf("nil set injected: %v", err)
+	}
+	if s.Hits("anything") != 0 || s.Points() != nil {
+		t.Fatal("nil set reported state")
+	}
+	s.Fail("x").CrashAt("y").Sleep("z", time.Second) // all no-ops
+}
+
+func TestErrorInjection(t *testing.T) {
+	s := New().Add(Rule{Point: "op", Action: ActError, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := s.Check("op"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := s.Check("op")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("deferred rule did not fire: %v", err)
+	}
+	if s.Hits("op") != 3 {
+		t.Fatalf("hits = %d, want 3", s.Hits("op"))
+	}
+}
+
+func TestTimesBoundsFiring(t *testing.T) {
+	s := New().Add(Rule{Point: "op", Action: ActError, Times: 1})
+	if err := s.Check("op"); !errors.Is(err, ErrInjected) {
+		t.Fatal("first hit did not fire")
+	}
+	if err := s.Check("op"); err != nil {
+		t.Fatalf("exhausted rule still firing: %v", err)
+	}
+}
+
+func TestCrashPanics(t *testing.T) {
+	s := New().CrashAt("op")
+	defer func() {
+		c, ok := AsCrash(recover())
+		if !ok || c.Point != "op" {
+			t.Fatalf("recovered %v, want Crash at op", c)
+		}
+	}()
+	s.Check("op")
+	t.Fatal("crash point did not panic")
+}
+
+func TestSleepDelays(t *testing.T) {
+	s := New().Sleep("op", 30*time.Millisecond)
+	start := time.Now()
+	if err := s.Check("op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("check returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("a=err, b@2=crash, c=sleep:50ms, d=torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d"}
+	got := s.Points()
+	if len(got) != len(want) {
+		t.Fatalf("points %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("points %v, want %v", got, want)
+		}
+	}
+	if err := s.Check("a"); !errors.Is(err, ErrInjected) {
+		t.Fatal("parsed err rule did not fire")
+	}
+	if err := s.Check("b"); err != nil {
+		t.Fatal("skip count ignored")
+	}
+
+	if s, err := Parse("  "); s != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", s, err)
+	}
+	for _, bad := range []string{"noaction", "p=warp", "p=sleep:xx", "p@-1=err", "=err"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFileWrapperInjects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	s := New().Fail("log_sync")
+	w := WrapFile(f, s, "log")
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync fault not injected: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := w.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("read through wrapper: %q %v", buf, err)
+	}
+	if s.Hits("log_write") != 1 || s.Hits("log_read") != 1 || s.Hits("log_sync") != 1 {
+		t.Fatalf("op hits not counted: write=%d read=%d sync=%d",
+			s.Hits("log_write"), s.Hits("log_read"), s.Hits("log_sync"))
+	}
+}
+
+// TestFileWrapperTornWrite: a torn write lands exactly half the buffer
+// and then crashes — the on-disk signature of a power loss mid-append.
+func TestFileWrapperTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := WrapFile(f, New().Add(Rule{Point: "log_write", Action: ActTorn}), "log")
+
+	func() {
+		defer func() {
+			if _, ok := AsCrash(recover()); !ok {
+				t.Fatal("torn write did not crash")
+			}
+		}()
+		w.WriteAt([]byte("0123456789"), 0)
+	}()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "01234" {
+		t.Fatalf("torn write left %q, want the first half", b)
+	}
+}

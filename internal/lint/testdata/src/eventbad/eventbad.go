@@ -20,3 +20,11 @@ func Record(rec *obs.Recorder, runs *obs.RunRegistry, dynamic string) {
 
 	_ = obs.Field{Key: "also-bad key", Value: "v"} // want `event field key "also-bad key" must match`
 }
+
+// RecordResilience mirrors the compaction flight-recorder events: the
+// chaos job greps /debug/events for the literal store_compact name.
+func RecordResilience(rec *obs.Recorder, point string) {
+	rec.Record("store_compact", obs.F("evicted", "5"))
+	rec.Record("store_compact_" + point) // want `event name must be a string literal`
+	rec.Record("Store-Compact")          // want `event name "Store-Compact" must match`
+}

@@ -15,3 +15,16 @@ func Register(reg *obs.Registry, dynamic string) {
 		obs.L("Bad-Key", "v")) // want `label key "Bad-Key" must match`
 	_ = obs.Label{Key: "also-bad key", Value: "v"} // want `label key "also-bad key" must match`
 }
+
+// RegisterResilience mirrors the coalescing and compaction metric
+// families the service tier registers, with the same violation shapes:
+// the scrape greps in the chaos job key on these exact names staying
+// literal and snake_case.
+func RegisterResilience(reg *obs.Registry, flight string) {
+	reg.Counter("idonly_coalesce_hits_total", "A conforming coalesce counter.")
+	reg.Counter("idonly_store_compact_total", "A conforming compact counter.")
+	reg.Counter("idonly_coalesce_"+flight+"_total", "Computed family member.") // want `metric name must be a string literal`
+	reg.Counter("idonly_coalesce_Hits_total", "Camel case.")                   // want `metric name "idonly_coalesce_Hits_total" must match`
+	reg.Histogram("idonly_store_Compact_seconds", "Camel case.", nil)          // want `metric name "idonly_store_Compact_seconds" must match`
+	reg.Gauge("store_compact_pending", "Missing prefix.")                      // want `metric name "store_compact_pending" must match`
+}

@@ -10,9 +10,17 @@
 // so concurrency — not offered rate — is the controlled variable).
 // A request is *hot* with probability Config.HotFraction: the same
 // small grid every time, fully cache-served after the warmup sweep.
-// Otherwise it is *cold*: a single-scenario grid with a never-repeated
-// seed, so the server must simulate and persist it. The mix exercises
-// both the store's ReadAt path and the compute path under contention.
+// With probability Config.Dup it is *dup*: every worker replays the
+// same never-seen-before grid for the current Config.DupEpoch window,
+// so concurrent duplicates race the server's request coalescing — one
+// computation per epoch, everyone else coalesced onto it or served
+// from the just-filled cache. The response headers say which
+// (X-Idonly-Coalesced, X-Idonly-Computed), and the artifact reports
+// the fraction of duplicate traffic that avoided recomputation as
+// DupCoverage. Otherwise the request is *cold*: a single-scenario grid
+// with a never-repeated seed, so the server must simulate and persist
+// it. The mix exercises the store's ReadAt path, the coalescing plane,
+// and the compute path under contention.
 //
 // Everything here is standard library only, matching the module's
 // zero-dependency constraint.
@@ -39,6 +47,8 @@ type Config struct {
 	Concurrency int           // closed-loop workers; <= 0 means 4
 	Duration    time.Duration // measurement window; <= 0 means 10s
 	HotFraction float64       // probability a request is hot; outside (0,1] means 0.8
+	Dup         float64       // probability a request replays the current dup-epoch grid; <= 0 means none
+	DupEpoch    time.Duration // how long every worker shares one dup grid; <= 0 means 1s
 	Seed        int64         // seeds the per-worker mix RNG and the cold-seed space
 	Label       string        // recorded in the artifact
 	Client      *http.Client  // nil means a 30s-timeout client
@@ -53,6 +63,7 @@ type Result struct {
 	HotFraction   float64 `json:"hot_fraction"`
 	Requests      int64   `json:"requests"` // completed 200s (the latency samples)
 	Hot           int64   `json:"hot"`
+	Dup           int64   `json:"dup"`
 	Cold          int64   `json:"cold"`
 	Errors        int64   `json:"errors"`   // non-2xx other than 429, and transport failures
 	Rejected      int64   `json:"rejected"` // 429s from the in-flight bound
@@ -63,8 +74,22 @@ type Result struct {
 	P90NS         int64   `json:"p90_ns"`
 	P99NS         int64   `json:"p99_ns"`
 	HotP99NS      int64   `json:"hot_p99_ns"`
+	DupP99NS      int64   `json:"dup_p99_ns"`
 	ColdP99NS     int64   `json:"cold_p99_ns"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"` // from the server's /v1/stats delta
+
+	// DupCovered counts dup requests the server answered without a
+	// fresh computation — coalesced onto an in-flight sweep
+	// (X-Idonly-Coalesced) or served entirely from cache
+	// (X-Idonly-Computed: 0). DupCoverage is the covered fraction; the
+	// uncovered remainder is the one leader per dup epoch that computes
+	// for everyone. Coalesced and Evictions are the server-side deltas
+	// over the run (sweeps that joined an in-flight computation; store
+	// records evicted by watermark compactions).
+	DupCovered  int64   `json:"dup_covered"`
+	DupCoverage float64 `json:"dup_coverage"`
+	Coalesced   int64   `json:"coalesced"`
+	Evictions   int64   `json:"evictions"`
 }
 
 // hotBody is the hot grid: four scenarios, cache-served after warmup.
@@ -80,10 +105,24 @@ func coldBody(seed uint64) string {
 	"sizes": [7], "seeds": [%d]}}`, seed)
 }
 
+// dupBody builds the shared duplicate grid for one epoch: every worker
+// sends the same body for the whole epoch window, so concurrent copies
+// must coalesce server-side. A different protocol keeps the dup digest
+// space disjoint from the cold one no matter how seeds collide.
+func dupBody(seed int64, epoch int64) string {
+	return fmt.Sprintf(`{"grid": {"name": "loadgen-dup",
+	"protocols": ["rbroadcast"], "adversaries": ["silent"],
+	"sizes": [7], "seeds": [%d]}}`, uint64(seed)<<24+uint64(epoch)+1)
+}
+
 // statsView is the slice of GET /v1/stats the generator reads.
 type statsView struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Store       struct {
+		Evicted int64 `json:"evicted"`
+	} `json:"store"`
 }
 
 // Run executes one load run: warm the hot grid, drive Concurrency
@@ -98,6 +137,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
 		cfg.HotFraction = 0.8
+	}
+	if cfg.Dup < 0 {
+		cfg.Dup = 0
+	}
+	if cfg.Dup > 1-cfg.HotFraction {
+		cfg.Dup = 1 - cfg.HotFraction
+	}
+	if cfg.DupEpoch <= 0 {
+		cfg.DupEpoch = time.Second
 	}
 	client := cfg.Client
 	if client == nil {
@@ -118,10 +166,18 @@ func Run(cfg Config) (*Result, error) {
 		obs.RequestBuckets)
 	latHot := reg.Histogram("idonly_loadgen_hot_request_seconds",
 		"Hot (cache-served) request latency.", obs.RequestBuckets)
+	latDup := reg.Histogram("idonly_loadgen_dup_request_seconds",
+		"Duplicate (coalesced or cache-covered) request latency.", obs.RequestBuckets)
 	latCold := reg.Histogram("idonly_loadgen_cold_request_seconds",
 		"Cold (computed) request latency.", obs.RequestBuckets)
 
-	var requests, hot, cold, errors, rejected atomic.Int64
+	type class int
+	const (
+		classHot class = iota
+		classDup
+		classCold
+	)
+	var requests, hot, dup, dupCovered, cold, errors, rejected atomic.Int64
 	var sumNS atomic.Int64
 	var coldSeq atomic.Int64
 	deadline := time.Now().Add(cfg.Duration)
@@ -134,11 +190,20 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			for time.Now().Before(deadline) {
-				isHot := rng.Float64() < cfg.HotFraction
-				body := hotBody
-				if !isHot {
+				var cl class
+				var body string
+				switch r := rng.Float64(); {
+				case r < cfg.HotFraction:
+					cl, body = classHot, hotBody
+				case r < cfg.HotFraction+cfg.Dup:
+					// Every worker derives the same epoch from the shared
+					// clock, so duplicates really collide in flight.
+					cl = classDup
+					body = dupBody(cfg.Seed, int64(time.Since(start)/cfg.DupEpoch))
+				default:
 					// A distinct seed space per run keeps cold requests
 					// cold even against a store warmed by earlier runs.
+					cl = classCold
 					body = coldBody(uint64(cfg.Seed)<<24 + uint64(coldSeq.Add(1)))
 				}
 				reqStart := time.Now()
@@ -156,10 +221,21 @@ func Run(cfg Config) (*Result, error) {
 					requests.Add(1)
 					sumNS.Add(lat.Nanoseconds())
 					latAll.Observe(lat.Seconds())
-					if isHot {
+					switch cl {
+					case classHot:
 						hot.Add(1)
 						latHot.Observe(lat.Seconds())
-					} else {
+					case classDup:
+						dup.Add(1)
+						latDup.Observe(lat.Seconds())
+						// Covered = the server did not recompute for us:
+						// we joined an in-flight sweep or it was already
+						// fully cached.
+						if resp.Header.Get("X-Idonly-Coalesced") == "1" ||
+							resp.Header.Get("X-Idonly-Computed") == "0" {
+							dupCovered.Add(1)
+						}
+					case classCold:
 						cold.Add(1)
 						latCold.Observe(lat.Seconds())
 					}
@@ -189,14 +265,22 @@ func Run(cfg Config) (*Result, error) {
 		HotFraction: cfg.HotFraction,
 		Requests:    requests.Load(),
 		Hot:         hot.Load(),
+		Dup:         dup.Load(),
 		Cold:        cold.Load(),
 		Errors:      errors.Load(),
 		Rejected:    rejected.Load(),
+		DupCovered:  dupCovered.Load(),
 		P50NS:       int64(latAll.Quantile(0.5) * 1e9),
 		P90NS:       int64(latAll.Quantile(0.9) * 1e9),
 		P99NS:       int64(latAll.Quantile(0.99) * 1e9),
 		HotP99NS:    int64(latHot.Quantile(0.99) * 1e9),
+		DupP99NS:    int64(latDup.Quantile(0.99) * 1e9),
 		ColdP99NS:   int64(latCold.Quantile(0.99) * 1e9),
+		Coalesced:   after.Coalesced - before.Coalesced,
+		Evictions:   after.Store.Evicted - before.Store.Evicted,
+	}
+	if res.Dup > 0 {
+		res.DupCoverage = float64(res.DupCovered) / float64(res.Dup)
 	}
 	if attempts := res.Requests + res.Errors + res.Rejected; attempts > 0 {
 		res.ErrorRate = float64(res.Errors) / float64(attempts)
@@ -253,8 +337,11 @@ func readStats(client *http.Client, baseURL string) (statsView, error) {
 
 // Gate compares a fresh run against the checked-in baseline: it fails
 // on a p99 regression beyond maxRatio (and beyond slack, so microsecond
-// baselines don't trip on scheduler noise) or on an error rate above
-// 1%. A fresh run with no successful requests always fails.
+// baselines don't trip on scheduler noise), on an error rate above 1%,
+// or — when the run carried duplicate traffic — on a dup coverage below
+// 95% (duplicates that neither coalesced nor cache-hit mean the
+// coalescing plane regressed). A fresh run with no successful requests
+// always fails.
 func Gate(fresh, baseline *Result, maxRatio float64, slack time.Duration) error {
 	if fresh.Requests == 0 {
 		return fmt.Errorf("loadgen gate: no successful requests (errors=%d rejected=%d)",
@@ -262,6 +349,10 @@ func Gate(fresh, baseline *Result, maxRatio float64, slack time.Duration) error 
 	}
 	if fresh.ErrorRate > 0.01 {
 		return fmt.Errorf("loadgen gate: error rate %.2f%% exceeds 1%%", fresh.ErrorRate*100)
+	}
+	if fresh.Dup > 0 && fresh.DupCoverage < 0.95 {
+		return fmt.Errorf("loadgen gate: dup coverage %.1f%% below 95%% (%d of %d duplicates recomputed)",
+			fresh.DupCoverage*100, fresh.Dup-fresh.DupCovered, fresh.Dup)
 	}
 	limit := int64(float64(baseline.P99NS) * maxRatio)
 	if fresh.P99NS > limit && fresh.P99NS-baseline.P99NS > slack.Nanoseconds() {

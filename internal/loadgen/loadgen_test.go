@@ -8,18 +8,24 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // mockServe imitates the slice of idonly-serve the generator touches:
-// POST /v1/sweep distinguishes hot from cold grids by name, counts
-// them into the /v1/stats cache counters, and can inject 429s.
+// POST /v1/sweep distinguishes hot, dup and cold grids by name, counts
+// them into the /v1/stats counters, answers duplicates with the same
+// coalescing headers the real service sets, and can inject 429s.
 type mockServe struct {
 	hits, misses atomic.Int64
+	coalesced    atomic.Int64
 	reject       atomic.Bool
 	rejected     atomic.Int64
+
+	mu       sync.Mutex
+	dupsSeen map[string]bool
 }
 
 func (m *mockServe) handler() http.Handler {
@@ -33,8 +39,30 @@ func (m *mockServe) handler() http.Handler {
 		switch {
 		case strings.Contains(string(body), "loadgen-hot"):
 			m.hits.Add(4) // the hot grid's 4 scenarios, cache-served
+			w.Header().Set("X-Idonly-Computed", "0")
+		case strings.Contains(string(body), "loadgen-dup"):
+			// First sight of an epoch's body computes; every repeat is
+			// answered as coalesced, like joining the in-flight sweep.
+			m.mu.Lock()
+			first := !m.dupsSeen[string(body)]
+			if first {
+				if m.dupsSeen == nil {
+					m.dupsSeen = map[string]bool{}
+				}
+				m.dupsSeen[string(body)] = true
+			}
+			m.mu.Unlock()
+			if first {
+				m.misses.Add(1)
+				w.Header().Set("X-Idonly-Computed", "1")
+			} else {
+				m.coalesced.Add(1)
+				w.Header().Set("X-Idonly-Coalesced", "1")
+				w.Header().Set("X-Idonly-Computed", "0")
+			}
 		case strings.Contains(string(body), "loadgen-cold"):
 			m.misses.Add(1)
+			w.Header().Set("X-Idonly-Computed", "1")
 		default:
 			w.WriteHeader(http.StatusBadRequest)
 			return
@@ -42,9 +70,11 @@ func (m *mockServe) handler() http.Handler {
 		fmt.Fprintln(w, `{"ok": true}`)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(map[string]int64{
+		json.NewEncoder(w).Encode(map[string]any{
 			"cache_hits":   m.hits.Load(),
 			"cache_misses": m.misses.Load(),
+			"coalesced":    m.coalesced.Load(),
+			"store":        map[string]int64{"evicted": 0},
 		})
 	})
 	return mux
@@ -88,6 +118,65 @@ func TestRunProducesSaneArtifact(t *testing.T) {
 	}
 	if res.CacheHitRatio <= 0 || res.CacheHitRatio >= 1 {
 		t.Fatalf("cache hit ratio %f, want strictly between 0 and 1", res.CacheHitRatio)
+	}
+}
+
+// TestRunDupCoverage drives a three-way mix with one long dup epoch:
+// exactly one dup request computes (the epoch leader) and every other
+// duplicate must be covered — coalesced or cache-served — which is the
+// number the CI gate holds at 95%.
+func TestRunDupCoverage(t *testing.T) {
+	m := &mockServe{}
+	ts := httptest.NewServer(m.handler())
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 3,
+		Duration:    300 * time.Millisecond,
+		HotFraction: 0.4,
+		Dup:         0.4,
+		DupEpoch:    time.Minute, // one epoch for the whole run
+		Seed:        9,
+		Label:       "dup-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dup == 0 {
+		t.Fatal("dup mix produced no dup requests")
+	}
+	if res.Hot+res.Dup+res.Cold != res.Requests {
+		t.Fatalf("hot %d + dup %d + cold %d != requests %d", res.Hot, res.Dup, res.Cold, res.Requests)
+	}
+	if res.DupCovered != res.Dup-1 {
+		t.Fatalf("dup covered %d of %d, want all but the one epoch leader", res.DupCovered, res.Dup)
+	}
+	wantCov := float64(res.DupCovered) / float64(res.Dup)
+	if res.DupCoverage != wantCov {
+		t.Fatalf("DupCoverage %f, want %f", res.DupCoverage, wantCov)
+	}
+	if res.Coalesced != res.Dup-1 {
+		t.Fatalf("server coalesced delta %d, want %d", res.Coalesced, res.Dup-1)
+	}
+	if res.DupP99NS <= 0 {
+		t.Fatalf("dup p99 %d", res.DupP99NS)
+	}
+}
+
+func TestGateDupCoverage(t *testing.T) {
+	base := &Result{P99NS: 100e6, Requests: 1000}
+	covered := &Result{P99NS: 100e6, Requests: 500, Dup: 100, DupCovered: 99, DupCoverage: 0.99}
+	if err := Gate(covered, base, 1.5, 5*time.Millisecond); err != nil {
+		t.Fatalf("99%% dup coverage failed the gate: %v", err)
+	}
+	uncovered := &Result{P99NS: 100e6, Requests: 500, Dup: 100, DupCovered: 50, DupCoverage: 0.5}
+	if err := Gate(uncovered, base, 1.5, 5*time.Millisecond); err == nil {
+		t.Fatal("50% dup coverage must fail the gate")
+	}
+	noDup := &Result{P99NS: 100e6, Requests: 500}
+	if err := Gate(noDup, base, 1.5, 5*time.Millisecond); err != nil {
+		t.Fatalf("run without dup traffic tripped the dup gate: %v", err)
 	}
 }
 

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+
+	"idonly/internal/engine"
+	"idonly/internal/obs"
+)
+
+// sweepFlight is one in-flight whole-sweep computation that any number
+// of identical concurrent requests share. The computation runs on a
+// detached goroutine owned by the service, not by any request context:
+// the client that happened to arrive first holds no special role, so a
+// leader disconnecting mid-stream changes nothing for the waiters —
+// the computation finishes, the result lands in the store, and every
+// still-connected waiter renders it in its own requested format.
+// Fields other than done are written once, before done closes.
+type sweepFlight struct {
+	done      chan struct{}
+	out       sweepOutcome
+	coalesced int64 // waiters beyond the first, for the fan-out event
+}
+
+// sweepKey is the whole-sweep coalescing identity: the ordered
+// scenario digests (which already encode every axis of every cell)
+// plus the trace flag, because a traced flight must collect spans and
+// an untraced one must not. The response format is deliberately not
+// part of the key — waiters render the shared report independently.
+func sweepKey(gridName string, traced bool, specs []engine.Scenario) string {
+	h := sha256.New()
+	io.WriteString(h, "sweep|")
+	io.WriteString(h, gridName)
+	if traced {
+		io.WriteString(h, "|traced")
+	}
+	for i := range specs {
+		io.WriteString(h, "|")
+		io.WriteString(h, specs[i].Digest())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// claimSweep joins or starts the flight for key. Three outcomes:
+//
+//	f, true    caller started the flight and owns launching the
+//	           computation; an in-flight semaphore slot is held and
+//	           released by the computation goroutine
+//	f, false   an identical sweep is already flying; wait on f.done —
+//	           no semaphore slot is consumed, which is the point: N
+//	           duplicate sweeps cost one slot, not min(N, MaxInFlight)
+//	nil, false the semaphore is full (no identical flight to join) —
+//	           the caller must 429
+func (s *Service) claimSweep(key string) (*sweepFlight, bool) {
+	s.sfmu.Lock()
+	if f, ok := s.sflights[key]; ok {
+		f.coalesced++
+		s.sfmu.Unlock()
+		return f, false
+	}
+	s.sfmu.Unlock()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return nil, false
+	}
+	s.sfmu.Lock()
+	if f, ok := s.sflights[key]; ok {
+		// Lost the publish race to an identical sweep: hand the slot
+		// back and ride its flight.
+		f.coalesced++
+		s.sfmu.Unlock()
+		<-s.sem
+		return f, false
+	}
+	f := &sweepFlight{done: make(chan struct{})}
+	s.sflights[key] = f
+	s.sfmu.Unlock()
+	return f, true
+}
+
+// runSweepFlight computes the sweep and fans the outcome out. It runs
+// detached from every request: waiters come and go (including all of
+// them), the computation always completes, always releases its
+// semaphore slot, and always closes done. A panic out of the engine is
+// converted into an error outcome rather than re-raised — on a
+// detached goroutine a panic would kill the whole process, and the
+// waiters deserve the 500.
+func (s *Service) runSweepFlight(f *sweepFlight, key string, specs []engine.Scenario, gridName string, traced bool) {
+	defer func() { <-s.sem }()
+	defer func() {
+		if p := recover(); p != nil {
+			f.out = sweepOutcome{err: fmt.Errorf("sweep panicked: %v", p)}
+			s.events.Record("sweep_panic", obs.F("key", key[:12]))
+			s.finishSweep(f, key)
+		}
+	}()
+	f.out = s.computeSweep(specs, gridName, traced)
+	s.finishSweep(f, key)
+}
+
+// finishSweep deregisters the flight and wakes every waiter. The
+// deregistration happens first so a request arriving after this point
+// starts a fresh flight instead of joining a completed one.
+func (s *Service) finishSweep(f *sweepFlight, key string) {
+	s.sfmu.Lock()
+	delete(s.sflights, key)
+	waiters := f.coalesced
+	s.sfmu.Unlock()
+	close(f.done)
+	if waiters > 0 {
+		s.events.Record("sweep_coalesced",
+			obs.F("key", key[:12]),
+			obs.F("waiters", strconv.FormatInt(waiters, 10)))
+	}
+}

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"idonly/internal/engine"
+	"idonly/internal/faults"
+	"idonly/internal/store"
+)
+
+// newFaultedService builds a service over a store with a failpoint set
+// attached, so coalescing tests can hold a sweep in flight by delaying
+// its store fsync.
+func newFaultedService(t *testing.T, cfg Config, fs *faults.Set) (*Service, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.WithFaults(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg.Store = st
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// slowFirstAppend arms a failpoint set that holds the first PutBatch
+// fsync open for d (log_sync hit 0 is the open-time magic write).
+func slowFirstAppend(d time.Duration) *faults.Set {
+	return faults.New().Add(faults.Rule{
+		Point: "log_sync", Action: faults.ActSleep, After: 1, Times: 1, Delay: d,
+	})
+}
+
+// wantCanonical computes the grid's canonical report bytes directly.
+func wantCanonical(t *testing.T) []byte {
+	t.Helper()
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(testGridBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.RunAll(req.Grid.Scenarios(), engine.Options{Grid: "svc-test"}).CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestCoalesceManyIdenticalSweeps is the acceptance hammer: 32
+// identical concurrent sweeps against MaxInFlight=2 must all succeed
+// (no 429s — duplicates coalesce instead of competing for slots), serve
+// byte-identical canonical reports, and admit exactly one engine
+// computation of each scenario.
+func TestCoalesceManyIdenticalSweeps(t *testing.T) {
+	svc, ts := newTestService(t, Config{Workers: 2, MaxInFlight: 2})
+	want := wantCanonical(t)
+
+	const callers = 32
+	var (
+		start     = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		bodies    [][]byte
+		coalesced int
+		statuses  = map[int]int{}
+	)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/sweep?format=canonical", "application/json",
+				strings.NewReader(testGridBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body := new(bytes.Buffer)
+			body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			statuses[resp.StatusCode]++
+			bodies = append(bodies, body.Bytes())
+			if resp.Header.Get("X-Idonly-Coalesced") == "1" {
+				coalesced++
+			}
+			if resp.Header.Get("X-Idonly-Run") == "" {
+				t.Errorf("response without X-Idonly-Run")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if statuses[http.StatusOK] != callers {
+		t.Fatalf("statuses %v, want %d 200s", statuses, callers)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, want) {
+			t.Fatalf("response %d diverged from the direct engine report", i)
+		}
+	}
+	snap := svc.Snapshot()
+	// CacheMisses counts scenarios the engine actually executed: one
+	// computation of the 8-cell grid, no matter how many requests raced.
+	if snap.CacheMisses != 8 {
+		t.Fatalf("engine computed %d scenarios for %d identical sweeps, want 8", snap.CacheMisses, callers)
+	}
+	if snap.Store.Puts != 8 {
+		t.Fatalf("store persisted %d records, want 8", snap.Store.Puts)
+	}
+	if int64(coalesced) != snap.Coalesced {
+		t.Fatalf("%d coalesced response headers vs counter %d", coalesced, snap.Coalesced)
+	}
+	if snap.SweepsRejected != 0 {
+		t.Fatalf("%d duplicate sweeps were 429d instead of coalesced", snap.SweepsRejected)
+	}
+}
+
+// TestCoalesceLeaderDisconnect cancels the request that started the
+// flight while the computation is pinned inside its store fsync; the
+// follower that joined the flight must still get the full report — the
+// computation belongs to the service, not to the first client.
+func TestCoalesceLeaderDisconnect(t *testing.T) {
+	_, ts := newFaultedService(t,
+		Config{Workers: 2, MaxInFlight: 1}, slowFirstAppend(500*time.Millisecond))
+	want := wantCanonical(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, "POST",
+			ts.URL+"/v1/sweep?format=canonical", strings.NewReader(testGridBody))
+		if err != nil {
+			leaderErr <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leaderErr <- nil
+	}()
+	// Let the leader claim the flight, then join it and yank the leader
+	// mid-computation (the fsync holds the flight open for 500ms).
+	time.Sleep(100 * time.Millisecond)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	resp, body := postSweep(t, ts, "?format=canonical", testGridBody)
+	if err := <-leaderErr; err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Idonly-Coalesced") != "1" {
+		t.Fatal("follower response missing X-Idonly-Coalesced")
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("follower report diverged after leader disconnect")
+	}
+	// The flight persisted its results despite the disconnect: a warm
+	// repeat is all cache hits.
+	resp2, warm := postSweep(t, ts, "?format=canonical", testGridBody)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(warm, want) {
+		t.Fatalf("warm sweep after disconnect: status %d", resp2.StatusCode)
+	}
+}
+
+// TestCoalesceFollowerCancellation is the mirror image: a follower
+// abandoning its wait must not disturb the leader's stream.
+func TestCoalesceFollowerCancellation(t *testing.T) {
+	_, ts := newFaultedService(t,
+		Config{Workers: 2, MaxInFlight: 1}, slowFirstAppend(500*time.Millisecond))
+	want := wantCanonical(t)
+
+	type result struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	leaderDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep?format=canonical", "application/json",
+			strings.NewReader(testGridBody))
+		if err != nil {
+			leaderDone <- result{err: err}
+			return
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		leaderDone <- result{resp: resp, body: buf.Bytes()}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	fctx, fcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer fcancel()
+	freq, err := http.NewRequestWithContext(fctx, "POST",
+		ts.URL+"/v1/sweep?format=canonical", strings.NewReader(testGridBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp, err := http.DefaultClient.Do(freq); err == nil {
+		fresp.Body.Close()
+	}
+
+	leader := <-leaderDone
+	if leader.err != nil {
+		t.Fatal(leader.err)
+	}
+	if leader.resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader status %d after follower cancel: %s", leader.resp.StatusCode, leader.body)
+	}
+	if got := leader.resp.Header.Get("X-Idonly-Computed"); got != "8" {
+		t.Fatalf("leader X-Idonly-Computed = %q, want 8", got)
+	}
+	if !bytes.Equal(leader.body, want) {
+		t.Fatal("leader report diverged after follower cancel")
+	}
+}
+
+// TestCoalesceDisabled flips the flag: with coalescing off, identical
+// concurrent sweeps compete for in-flight slots again, so the second
+// one hits the bound and gets 429 where coalescing would have served it.
+func TestCoalesceDisabled(t *testing.T) {
+	svc, ts := newFaultedService(t,
+		Config{Workers: 2, MaxInFlight: 1, DisableCoalesce: true},
+		slowFirstAppend(500*time.Millisecond))
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postSweep(t, ts, "", testGridBody)
+		first <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond)
+	resp, _ := postSweep(t, ts, "", testGridBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("duplicate sweep with coalescing disabled: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := <-first; got != http.StatusOK {
+		t.Fatalf("first sweep status %d", got)
+	}
+	if snap := svc.Snapshot(); snap.SweepsRejected != 1 || snap.Coalesced != 0 {
+		t.Fatalf("counters with coalescing disabled: %+v", snap)
+	}
+}
+
+// TestSweepRetryAfterDerived pins the in-flight 429's Retry-After to
+// the observed sweep-latency median, clamped to [1, 30] seconds: 1 on a
+// cold process, the median once sweeps have run, the top of the latency
+// histogram (25s, inside the clamp) when sweeps are pathologically slow.
+func TestSweepRetryAfterDerived(t *testing.T) {
+	svc, _ := newTestService(t, Config{Workers: 1})
+	if got := svc.sweepRetryAfter(); got != 1 {
+		t.Fatalf("cold Retry-After = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		svc.sweepLat.Observe(0.002) // fast sweeps: floor at 1
+	}
+	if got := svc.sweepRetryAfter(); got != 1 {
+		t.Fatalf("fast-sweep Retry-After = %d, want 1", got)
+	}
+	svc2, _ := newTestService(t, Config{Workers: 1})
+	for i := 0; i < 3; i++ {
+		svc2.sweepLat.Observe(100) // beyond the top bucket: estimate 25s
+	}
+	got := svc2.sweepRetryAfter()
+	if got != 25 {
+		t.Fatalf("slow-sweep Retry-After = %d, want the 25s bucket top", got)
+	}
+	if got < 1 || got > 30 {
+		t.Fatalf("Retry-After %d escaped the [1, 30] clamp", got)
+	}
+}
+
+// TestCompactEndpoint drives the operator-facing compaction: a pure
+// rewrite keeps every record and the warm sweep afterwards is
+// byte-identical.
+func TestCompactEndpoint(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	want := wantCanonical(t)
+	resp, body := postSweep(t, ts, "?format=canonical", testGridBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: %d %s", resp.StatusCode, body)
+	}
+
+	cresp, err := http.Post(ts.URL+"/v1/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs store.CompactStats
+	if err := json.NewDecoder(cresp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d", cresp.StatusCode)
+	}
+	if cs.Kept != 8 || cs.Evicted != 0 {
+		t.Fatalf("compact stats %+v, want kept=8 evicted=0", cs)
+	}
+
+	resp2, warm := postSweep(t, ts, "?format=canonical", testGridBody)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(warm, want) {
+		t.Fatalf("warm sweep after compact: status %d", resp2.StatusCode)
+	}
+
+	bresp, err := http.Post(ts.URL+"/v1/compact?target=junk", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad target: status %d, want 400", bresp.StatusCode)
+	}
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxRateClients bounds the per-client bucket map: past it, buckets
+// that have refilled to full (idle clients) are swept. A hostile churn
+// of source addresses can therefore hold at most this many live
+// buckets plus whatever is actively mid-burst.
+const maxRateClients = 4096
+
+// rateLimiter is a per-client token bucket over sweep admissions,
+// keyed on the RemoteAddr host. Each client accrues rps tokens per
+// second up to burst; a sweep spends one token. Out of tokens means
+// 429, with Retry-After derived from the actual time until the next
+// token accrues — the honest wait, not a constant.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*rateBucket
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter allowing rps sweeps/second with the
+// given burst; burst <= 0 defaults to ceil(rps) with a floor of 1.
+// rps <= 0 disables limiting entirely (returns nil; nil methods are
+// not called — the service checks).
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if rps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rps))
+	}
+	return &rateLimiter{rps: rps, burst: b, clients: make(map[string]*rateBucket)}
+}
+
+// allow spends one token for the client if it has one, returning
+// ok=true. Otherwise it returns the duration until the next token
+// accrues, which the handler surfaces as Retry-After.
+func (l *rateLimiter) allow(client string, now time.Time) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= maxRateClients {
+			l.sweepLocked(now)
+		}
+		b = &rateBucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / l.rps * float64(time.Second)), false
+}
+
+// sweepLocked drops buckets that have refilled to full — clients idle
+// long enough to have forgotten their debt lose nothing by losing
+// their bucket.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	for client, b := range l.clients {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps) >= l.burst {
+			delete(l.clients, client)
+		}
+	}
+}
+
+// clientHost reduces a RemoteAddr to its rate-limit key: the host
+// without the ephemeral port, so one client's parallel connections
+// share a bucket.
+func clientHost(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

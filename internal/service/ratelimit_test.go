@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRateBucketAccrual(t *testing.T) {
+	l := newRateLimiter(2, 0) // burst defaults to ceil(2) = 2
+	now := time.Unix(0, 0)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("c", now); !ok {
+			t.Fatalf("burst spend %d denied", i)
+		}
+	}
+	wait, ok := l.allow("c", now)
+	if ok {
+		t.Fatal("spend past the burst allowed")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want the honest 500ms to the next token at 2 rps", wait)
+	}
+	if _, ok := l.allow("c", now.Add(500*time.Millisecond)); !ok {
+		t.Fatal("accrued token denied")
+	}
+	if _, ok := l.allow("c", now.Add(500*time.Millisecond)); ok {
+		t.Fatal("second token granted before it accrued")
+	}
+}
+
+func TestRateLimiterDisabledAndDefaults(t *testing.T) {
+	if l := newRateLimiter(0, 5); l != nil {
+		t.Fatal("rps=0 should disable the limiter")
+	}
+	if l := newRateLimiter(-1, 0); l != nil {
+		t.Fatal("negative rps should disable the limiter")
+	}
+	if l := newRateLimiter(0.5, 0); l.burst != 1 {
+		t.Fatalf("fractional-rps burst default = %v, want the floor of 1", l.burst)
+	}
+	if l := newRateLimiter(3, 7); l.burst != 7 {
+		t.Fatalf("explicit burst = %v, want 7", l.burst)
+	}
+}
+
+// TestRateLimiterSweepsIdleClients drives the bucket map to its cap and
+// checks refilled-idle buckets are dropped rather than the map growing
+// without bound under source-address churn.
+func TestRateLimiterSweepsIdleClients(t *testing.T) {
+	l := newRateLimiter(1, 0)
+	now := time.Unix(0, 0)
+	for i := 0; i < maxRateClients; i++ {
+		l.allow(fmt.Sprintf("10.0.%d.%d", i/256, i%256), now)
+	}
+	if len(l.clients) != maxRateClients {
+		t.Fatalf("bucket map %d, want %d", len(l.clients), maxRateClients)
+	}
+	// Two seconds later every bucket has refilled; the next new client
+	// triggers the sweep and the map collapses to just it.
+	if _, ok := l.allow("fresh", now.Add(2*time.Second)); !ok {
+		t.Fatal("fresh client denied")
+	}
+	if len(l.clients) != 1 {
+		t.Fatalf("bucket map %d after sweep, want 1", len(l.clients))
+	}
+}
+
+func TestClientHost(t *testing.T) {
+	for in, want := range map[string]string{
+		"10.1.2.3:5555": "10.1.2.3",
+		"[::1]:8080":    "::1",
+		"noport":        "noport",
+	} {
+		if got := clientHost(in); got != want {
+			t.Fatalf("clientHost(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSweepRateLimit exercises the HTTP integration: the limiter keys
+// on the RemoteAddr host, fires before request parsing, and answers
+// with the honest Retry-After.
+func TestSweepRateLimit(t *testing.T) {
+	svc, _ := newTestService(t, Config{Workers: 1, RateRPS: 1, RateBurst: 2})
+	do := func(addr string) *httptest.ResponseRecorder {
+		// An empty body spends a token and fails validation fast — the
+		// limiter must run before any parsing.
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(`{}`))
+		req.RemoteAddr = addr
+		rr := httptest.NewRecorder()
+		svc.ServeHTTP(rr, req)
+		return rr
+	}
+	// Parallel connections from one host share its bucket.
+	for i := 0; i < 2; i++ {
+		if rr := do(fmt.Sprintf("10.0.0.1:%d", 40000+i)); rr.Code != http.StatusBadRequest {
+			t.Fatalf("burst request %d: status %d, want 400 past the limiter", i, rr.Code)
+		}
+	}
+	rr := do("10.0.0.1:40002")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want the honest 1s to the next token at 1 rps", got)
+	}
+	// A different host has its own bucket.
+	if rr := do("10.0.0.2:40000"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("second host: status %d, want 400", rr.Code)
+	}
+	if snap := svc.Snapshot(); snap.RateLimited != 1 {
+		t.Fatalf("RateLimited = %d, want 1", snap.RateLimited)
+	}
+}

@@ -22,14 +22,22 @@
 //	                        emitted as the done-count advances, until
 //	                        the run completes (?interval_ms tunes the
 //	                        poll cadence, default 100)
+//	POST /v1/compact        rewrite the result log (?target=<bytes> also
+//	                        evicts least-recently-read records down to
+//	                        the target); responds with store.CompactStats
 //	GET  /metrics           Prometheus text exposition of the registry
 //	GET  /debug/events      flight-recorder dump, NDJSON in seq order
 //	/debug/pprof/*          runtime profiles, when Config.EnablePprof
 //
-// Sweeps are bounded two ways: at most Config.MaxInFlight run
-// concurrently (excess requests get 429 + Retry-After rather than
-// queueing without bound) and a single request may expand to at most
-// Config.MaxScenarios scenarios (413 beyond that). Graceful shutdown is
+// Sweeps are bounded three ways: at most Config.MaxInFlight run
+// concurrently (excess requests get 429 + a Retry-After derived from
+// the observed sweep-latency median rather than queueing without
+// bound), a single request may expand to at most Config.MaxScenarios
+// scenarios (413 beyond that), and with Config.RateRPS set each client
+// host gets a token bucket over sweep admissions (429 + the honest
+// time to the next token). Identical concurrent sweeps coalesce by
+// default — one computation, one in-flight slot, every requester
+// streams the shared report; see coalesce.go. Graceful shutdown is
 // the caller's job via http.Server.Shutdown; the handler holds no state
 // that outlives a request.
 //
@@ -43,6 +51,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -101,6 +110,22 @@ type Config struct {
 	// default: profiles expose timing internals and cost CPU to take,
 	// so they are opt-in per process.
 	EnablePprof bool
+
+	// DisableCoalesce turns off whole-sweep request coalescing. On by
+	// default (zero value): N concurrent identical sweeps admit one
+	// computation on one in-flight slot and every request renders the
+	// shared report; see coalesce.go for the disconnect semantics.
+	DisableCoalesce bool
+
+	// RateRPS enables per-client rate limiting on POST /v1/sweep: each
+	// RemoteAddr host accrues RateRPS sweep admissions per second up to
+	// RateBurst (<= 0 means ceil(RateRPS), floor 1). Beyond that the
+	// client gets 429 with Retry-After set to the real time until its
+	// next token. Zero disables limiting. Read-only endpoints
+	// (/metrics, healthz, stats, runs) are never limited: starving the
+	// scrapers during an incident would be self-sabotage.
+	RateRPS   float64
+	RateBurst int
 }
 
 // SweepRequest is the POST /v1/sweep body: either a named preset or a
@@ -141,6 +166,8 @@ type Counters struct {
 	Sweeps          int64       `json:"sweeps"`           // sweeps completed
 	SweepsInFlight  int64       `json:"sweeps_in_flight"` // currently running
 	SweepsRejected  int64       `json:"sweeps_rejected"`  // 429s from the in-flight bound
+	RateLimited     int64       `json:"rate_limited"`     // 429s from the per-client rate limit
+	Coalesced       int64       `json:"coalesced"`        // sweeps served by joining an in-flight computation
 	ScenariosServed int64       `json:"scenarios_served"` // total scenarios across sweeps
 	CacheHits       int64       `json:"cache_hits"`       // scenarios served from the store
 	CacheMisses     int64       `json:"cache_misses"`     // scenarios computed
@@ -177,6 +204,15 @@ type Service struct {
 	sweepLat     *obs.Histogram // idonly_sweep_seconds
 	watchdogHits *obs.Counter   // idonly_watchdog_fires_total
 
+	// limiter is the per-client token bucket (nil when RateRPS <= 0);
+	// sflights are the in-flight whole-sweep computations (coalesce.go).
+	limiter         *rateLimiter
+	rateLimited     *obs.Counter // idonly_ratelimit_rejected_total
+	coalesceHits    *obs.Counter // idonly_coalesce_hits_total
+	coalesceFlights *obs.Counter // idonly_coalesce_flights_total
+	sfmu            sync.Mutex
+	sflights        map[string]*sweepFlight
+
 	// httpLat holds the per-endpoint latency series, preregistered for
 	// the full bounded endpoint-label set so ServeHTTP observes into a
 	// held pointer instead of taking the registry lock per request.
@@ -185,7 +221,7 @@ type Service struct {
 
 // endpointLabels is the full bounded label set endpointLabel can emit.
 var endpointLabels = []string{
-	"sweep", "result", "healthz", "stats", "runs", "metrics", "events", "pprof", "other",
+	"sweep", "result", "healthz", "stats", "runs", "metrics", "events", "compact", "pprof", "other",
 }
 
 const (
@@ -227,7 +263,9 @@ func New(cfg Config) *Service {
 		events = obs.NewRecorder(cfg.EventBuffer)
 	}
 	s := &Service{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight), reg: reg,
-		runs: runs, events: events}
+		runs: runs, events: events,
+		limiter:  newRateLimiter(cfg.RateRPS, cfg.RateBurst),
+		sflights: make(map[string]*sweepFlight)}
 	s.eo = engine.NewObs(reg)
 	cfg.Store.Instrument(reg)
 	cfg.Store.RecordEvents(events)
@@ -249,6 +287,12 @@ func New(cfg Config) *Service {
 		func() float64 { return float64(len(s.sem)) })
 	s.watchdogHits = reg.Counter("idonly_watchdog_fires_total",
 		"Slow-scenario watchdog fires: shards that held one scenario past the deadline.")
+	s.rateLimited = reg.Counter("idonly_ratelimit_rejected_total",
+		"Sweeps rejected by the per-client rate limit (HTTP 429).")
+	s.coalesceHits = reg.Counter("idonly_coalesce_hits_total",
+		"Sweep requests served by joining another request's in-flight computation.")
+	s.coalesceFlights = reg.Counter("idonly_coalesce_flights_total",
+		"Coalesced sweep computations started (one per distinct in-flight sweep).")
 	s.httpLat = make(map[string]*obs.Histogram, len(endpointLabels))
 	for _, ep := range endpointLabels {
 		s.httpLat[ep] = reg.Histogram("idonly_http_request_seconds", reqLatHelp,
@@ -262,6 +306,7 @@ func New(cfg Config) *Service {
 	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/watch", s.handleRunWatch)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
 	if cfg.EnablePprof {
@@ -303,6 +348,8 @@ func endpointLabel(path string) string {
 		return "metrics"
 	case path == "/debug/events":
 		return "events"
+	case path == "/v1/compact":
+		return "compact"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "pprof"
 	default:
@@ -446,7 +493,49 @@ func (e errTooLarge) Error() string {
 // spec is a few KB of names and numbers.
 const maxSweepBody = 1 << 20
 
+// sweepRetryAfter derives the 429 Retry-After for the in-flight bound
+// from the observed sweep-latency median — a slot frees up roughly one
+// median sweep from now — clamped to [1, 30] seconds. With no samples
+// yet (cold process) it falls back to 1.
+func (s *Service) sweepRetryAfter() int {
+	sec := int(math.Ceil(s.sweepLat.Quantile(0.5)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// rejectInFlight writes the in-flight-bound 429.
+func (s *Service) rejectInFlight(w http.ResponseWriter, nspecs int) {
+	s.rejected.Inc()
+	s.events.Record("sweep_reject",
+		obs.F("reason", "in_flight_limit"),
+		obs.F("scenarios", strconv.Itoa(nspecs)))
+	w.Header().Set("Retry-After", strconv.Itoa(s.sweepRetryAfter()))
+	httpError(w, http.StatusTooManyRequests, "%d sweeps already in flight", s.cfg.MaxInFlight)
+}
+
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// The rate limit runs before anything else: a client over its
+	// budget should not even cost request parsing.
+	if s.limiter != nil {
+		host := clientHost(r.RemoteAddr)
+		if wait, ok := s.limiter.allow(host, time.Now()); !ok {
+			s.rateLimited.Inc()
+			s.events.Record("ratelimit_reject", obs.F("client", host))
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			httpError(w, http.StatusTooManyRequests,
+				"client %s exceeds %g sweeps/sec", host, s.cfg.RateRPS)
+			return
+		}
+	}
 	// Reject everything rejectable — body, grid, format — before
 	// taking an in-flight slot, so a slow or malformed request can
 	// never pin a semaphore slot while legitimate sweeps get 429s.
@@ -478,25 +567,82 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if !s.cfg.DisableCoalesce {
+		key := sweepKey(gridName, traced, specs)
+		f, leader := s.claimSweep(key)
+		if f == nil {
+			s.rejectInFlight(w, len(specs))
+			return
+		}
+		if leader {
+			s.coalesceFlights.Inc()
+			go s.runSweepFlight(f, key, specs, gridName, traced)
+		} else {
+			s.coalesceHits.Inc()
+		}
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			// This client is gone; the computation is not — it runs
+			// detached and the remaining waiters (if any) get it.
+			return
+		}
+		out := f.out
+		if out.err != nil {
+			httpError(w, http.StatusInternalServerError, "sweep failed: %v", out.err)
+			return
+		}
+		w.Header().Set("X-Idonly-Run", out.runID)
+		if leader {
+			w.Header().Set("X-Idonly-Computed", strconv.Itoa(out.stats.Misses-out.stats.Coalesced))
+		} else {
+			w.Header().Set("X-Idonly-Coalesced", "1")
+			w.Header().Set("X-Idonly-Computed", "0")
+		}
+		s.renderSweep(w, format, out)
+		return
+	}
+
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		s.rejected.Inc()
-		s.events.Record("sweep_reject",
-			obs.F("reason", "in_flight_limit"),
-			obs.F("scenarios", strconv.Itoa(len(specs))))
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "%d sweeps already in flight", s.cfg.MaxInFlight)
+		s.rejectInFlight(w, len(specs))
 		return
 	}
+	out := s.computeSweep(specs, gridName, traced)
+	if out.err != nil {
+		httpError(w, http.StatusInternalServerError, "sweep failed: %v", out.err)
+		return
+	}
+	w.Header().Set("X-Idonly-Run", out.runID)
+	w.Header().Set("X-Idonly-Computed", strconv.Itoa(out.stats.Misses-out.stats.Coalesced))
+	s.renderSweep(w, format, out)
+}
 
+// sweepOutcome is one computed sweep, ready to render in any format.
+// Spans arrive sorted by Seq so concurrent renderers never mutate the
+// shared slice.
+type sweepOutcome struct {
+	rep       *engine.Report
+	stats     store.RunStats
+	spans     []engine.Span
+	elapsedNS int64
+	runID     string
+	err       error
+}
+
+// computeSweep runs the grid through the cached engine with the full
+// observability harness: a run record (progress API), the slow-scenario
+// watchdog, flight-recorder events, and the sweep metric set. It is
+// shared by the inline (coalescing-disabled) path and the detached
+// flight goroutine.
+func (s *Service) computeSweep(specs []engine.Scenario, gridName string, traced bool) sweepOutcome {
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	run := s.runs.NewRun("sweep", gridName, len(specs), workers)
-	w.Header().Set("X-Idonly-Run", run.ID())
 	s.events.Record("sweep_admit",
 		obs.F("run", run.ID()),
 		obs.F("scenarios", strconv.Itoa(len(specs))))
@@ -523,26 +669,36 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	run.Finish()
 	if err != nil {
 		s.events.Record("sweep_failed", obs.F("run", run.ID()))
-		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
-		return
+		return sweepOutcome{runID: run.ID(), err: err}
 	}
 	elapsed := time.Since(start)
 	s.events.Record("sweep_done",
 		obs.F("run", run.ID()),
 		obs.F("elapsed_ns", strconv.FormatInt(elapsed.Nanoseconds(), 10)),
 		obs.F("cache_hits", strconv.Itoa(stats.Hits)),
-		obs.F("computed", strconv.Itoa(stats.Misses)))
+		obs.F("coalesced", strconv.Itoa(stats.Coalesced)),
+		obs.F("computed", strconv.Itoa(stats.Misses-stats.Coalesced)))
 	s.sweeps.Inc()
 	s.scenarios.Add(int64(len(specs)))
 	s.sweepNSTotal.Add(elapsed.Nanoseconds())
 	s.lastSweepNS.Set(elapsed.Nanoseconds())
 	s.sweepLat.Observe(elapsed.Seconds())
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+	return sweepOutcome{
+		rep: rep, stats: stats, spans: spans,
+		elapsedNS: elapsed.Nanoseconds(), runID: run.ID(),
+	}
+}
 
+// renderSweep writes one outcome in the requested format. Safe for any
+// number of concurrent callers over a shared outcome: every path reads
+// the report or copies it before mutating.
+func (s *Service) renderSweep(w http.ResponseWriter, format string, out sweepOutcome) {
 	switch format {
 	case "", "ndjson":
-		s.writeNDJSON(w, rep, stats, spans, elapsed.Nanoseconds())
+		s.writeNDJSON(w, out.rep, out.stats, out.spans, out.elapsedNS)
 	case "canonical":
-		b, err := rep.CanonicalBytes()
+		b, err := out.rep.CanonicalBytes()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -551,8 +707,35 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		w.Write(b)
 	case "report":
 		w.Header().Set("Content-Type", "application/json")
-		rep.WriteJSON(w)
+		out.rep.WriteJSON(w)
 	}
+}
+
+// handleCompact triggers a store compaction: a pure rewrite by
+// default, or down to ?target=<bytes> with least-recently-read
+// eviction. Operational surface — the same codepath the watermark
+// triggers automatically — so an operator can reclaim space or force
+// the swap protocol under a fault schedule without waiting for the
+// bound to trip.
+func (s *Service) handleCompact(w http.ResponseWriter, r *http.Request) {
+	var target int64
+	if v := r.URL.Query().Get("target"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad target %q (want a byte count)", v)
+			return
+		}
+		target = n
+	}
+	cs, err := s.cfg.Store.Compact(target)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "compact failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&cs)
 }
 
 // spanLine wraps a Span for the NDJSON stream, so trace lines are
@@ -563,9 +746,11 @@ type spanLine struct {
 
 // writeNDJSON streams the per-scenario results one JSON object per
 // line, in deterministic input order, then (for traced sweeps) one
-// span line per scenario in sweep order, then the trailer with
-// aggregates and cache stats. Lines are flushed as written so a slow
-// client sees results as they serialize.
+// span line per scenario in sweep order (the caller pre-sorts spans by
+// Seq — this function may run concurrently over a shared coalesced
+// outcome and must not mutate it), then the trailer with aggregates
+// and cache stats. Lines are flushed as written so a slow client sees
+// results as they serialize.
 func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats store.RunStats, spans []engine.Span, elapsed int64) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -579,7 +764,6 @@ func (s *Service) writeNDJSON(w http.ResponseWriter, rep *engine.Report, stats s
 		}
 	}
 	if spans != nil {
-		sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
 		for i := range spans {
 			if err := enc.Encode(spanLine{Span: &spans[i]}); err != nil {
 				return
@@ -660,6 +844,8 @@ func (s *Service) Snapshot() Counters {
 		Sweeps:          s.sweeps.Value(),
 		SweepsInFlight:  int64(len(s.sem)),
 		SweepsRejected:  s.rejected.Value(),
+		RateLimited:     s.rateLimited.Value(),
+		Coalesced:       s.coalesceHits.Value(),
 		ScenariosServed: s.scenarios.Value(),
 		CacheHits:       s.eo.Cached.Value(),
 		CacheMisses:     s.eo.Computed.Value(),

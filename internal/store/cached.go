@@ -9,8 +9,9 @@ import (
 
 // RunStats describes how one CachedRunAll call split its grid.
 type RunStats struct {
-	Hits   int `json:"hits"`   // scenarios served from the store (zero simulator rounds)
-	Misses int `json:"misses"` // scenarios executed and then persisted
+	Hits      int `json:"hits"`      // scenarios served from the store (zero simulator rounds)
+	Misses    int `json:"misses"`    // scenarios not in the store when the run began
+	Coalesced int `json:"coalesced"` // misses served by another caller's in-flight computation
 }
 
 // CachedRunAll is engine.RunAll behind the store: it partitions the
@@ -22,10 +23,22 @@ type RunStats struct {
 // stored results are the byte-for-byte results of a cold run, the warm
 // report's canonical bytes are identical to the cold report's.
 //
-// opts.Hooks flows through: cache hits are reported via ObserveCached
-// (a span per hit, WallNS the store lookup time), misses run through
-// RunHooked with their real worker slot and sweep index, so a traced
-// warm sweep still shows every cell of the grid.
+// Misses additionally coalesce across concurrent callers: each missing
+// digest is registered as a singleflight, so when N CachedRunAll calls
+// race on overlapping grids, each scenario is computed by exactly one
+// of them and the rest wait for that flight instead of re-running the
+// simulator (RunStats.Coalesced counts those). A leader always
+// fulfills its own flights before waiting on anyone else's — two calls
+// leading disjoint halves of the same grid can never deadlock — and a
+// leader that fails abandons its flights, downgrading every waiter to
+// a local computation. Coalescing is a fast path only; correctness
+// never depends on another caller finishing.
+//
+// opts.Hooks flows through: cache hits and coalesced results are
+// reported via ObserveCached (a span per scenario, WallNS the store
+// lookup or flight wait time), misses run through RunHooked with their
+// real worker slot and sweep index, so a traced warm sweep still shows
+// every cell of the grid.
 func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*engine.Report, RunStats, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -41,14 +54,15 @@ func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*eng
 
 	var stats RunStats
 	results := make([]engine.Result, len(specs))
+	digests := make([]string, len(specs))
 	var missIdx []int
 	for i, spec := range specs {
-		digest := spec.Digest()
+		digests[i] = spec.Digest()
 		var lookup time.Time
 		if hooked {
 			lookup = time.Now()
 		}
-		res, ok, err := st.Get(digest)
+		res, ok, err := st.Get(digests[i])
 		if err != nil {
 			return nil, stats, err
 		}
@@ -56,7 +70,7 @@ func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*eng
 			results[i] = res
 			stats.Hits++
 			if hooked {
-				hooks.ObserveCached(i, digest, &results[i], time.Since(lookup).Nanoseconds())
+				hooks.ObserveCached(i, digests[i], &results[i], time.Since(lookup).Nanoseconds())
 			}
 		} else {
 			missIdx = append(missIdx, i)
@@ -64,17 +78,87 @@ func CachedRunAll(st *Store, specs []engine.Scenario, opts engine.Options) (*eng
 	}
 	stats.Misses = len(missIdx)
 	if len(missIdx) > 0 {
-		fresh := engine.MapWorker(workers, len(missIdx), func(w, j int) engine.Result {
-			return specs[missIdx[j]].RunHooked(w, missIdx[j], hooks)
-		})
-		for j, res := range fresh {
-			results[missIdx[j]] = res
+		// Claim a flight per miss: leads are ours to compute, follows
+		// are someone else's in-flight computation we wait on.
+		type follow struct {
+			i int
+			f *flight
 		}
-		// One batch, one fsync — errored results are persisted too:
-		// validation failures and invariant panics are as deterministic
-		// as clean runs, so recomputing them would buy nothing.
-		if err := st.PutBatch(fresh); err != nil {
-			return nil, stats, err
+		var leadIdx []int
+		var leadFlights []*flight
+		var follows []follow
+		for _, i := range missIdx {
+			f, leader := st.beginFlight(digests[i])
+			if leader {
+				leadIdx = append(leadIdx, i)
+				leadFlights = append(leadFlights, f)
+			} else {
+				follows = append(follows, follow{i: i, f: f})
+			}
+		}
+		// Whatever happens below — an encode error, an unexpected panic
+		// out of the engine — our flights must not strand their
+		// followers: any not yet fulfilled are abandoned on the way out.
+		fulfilled := false
+		defer func() {
+			if !fulfilled {
+				for k, f := range leadFlights {
+					st.finishFlight(digests[leadIdx[k]], f, engine.Result{}, false)
+				}
+			}
+		}()
+		if len(leadIdx) > 0 {
+			fresh := engine.MapWorker(workers, len(leadIdx), func(w, j int) engine.Result {
+				return specs[leadIdx[j]].RunHooked(w, leadIdx[j], hooks)
+			})
+			for j, res := range fresh {
+				results[leadIdx[j]] = res
+			}
+			// Fulfill before persisting or waiting: followers unblock as
+			// early as possible, and a leader never waits on a flight
+			// while still holding unfulfilled ones of its own.
+			for k, f := range leadFlights {
+				st.finishFlight(digests[leadIdx[k]], f, fresh[k], true)
+			}
+			fulfilled = true
+			// One batch, one barrier — errored results are persisted
+			// too: validation failures and invariant panics are as
+			// deterministic as clean runs, so recomputing them would buy
+			// nothing.
+			if err := st.PutBatch(fresh); err != nil {
+				return nil, stats, err
+			}
+		} else {
+			fulfilled = true
+		}
+		var localIdx []int
+		for _, fo := range follows {
+			var wait time.Time
+			if hooked {
+				wait = time.Now()
+			}
+			<-fo.f.done
+			if fo.f.ok {
+				results[fo.i] = fo.f.res
+				stats.Coalesced++
+				st.coalesced.Add(1)
+				if hooked {
+					hooks.ObserveCached(fo.i, digests[fo.i], &results[fo.i], time.Since(wait).Nanoseconds())
+				}
+			} else {
+				localIdx = append(localIdx, fo.i)
+			}
+		}
+		if len(localIdx) > 0 {
+			fresh := engine.MapWorker(workers, len(localIdx), func(w, j int) engine.Result {
+				return specs[localIdx[j]].RunHooked(w, localIdx[j], hooks)
+			})
+			for j, res := range fresh {
+				results[localIdx[j]] = res
+			}
+			if err := st.PutBatch(fresh); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 	return &engine.Report{

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"idonly/internal/engine"
+	"idonly/internal/faults"
+)
+
+// openF opens a store with a failpoint set attached. No Close cleanup
+// is registered: chaos tests abandon crashed stores by hand, and a
+// surviving store is closed explicitly where the test needs it.
+func openF(t *testing.T, dir string, fs *faults.Set, opts ...Option) *Store {
+	t.Helper()
+	st, err := Open(dir, append([]Option{WithFaults(fs)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// wantCrash runs fn expecting an injected Crash at point, then abandons
+// the store — the in-process equivalent of the process dying there. The
+// disk is left exactly as the crash left it for the caller to recover.
+func wantCrash(t *testing.T, st *Store, point string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		c, ok := faults.AsCrash(p)
+		if !ok {
+			t.Fatalf("expected a Crash at %s, got panic %v", point, p)
+		}
+		if c.Point != point {
+			t.Fatalf("crashed at %s, want %s", c.Point, point)
+		}
+		st.abandon()
+	}()
+	fn()
+	t.Fatalf("no crash fired at %s", point)
+}
+
+// reopenAndVerify recovers the directory and asserts every result in
+// want round-trips byte-identically — the post-crash contract for each
+// swap-protocol failpoint.
+func reopenAndVerify(t *testing.T, dir string, want []engine.Result) *Store {
+	t.Helper()
+	st := openT(t, dir)
+	if st.Len() != len(want) {
+		t.Fatalf("recovered Len = %d, want %d", st.Len(), len(want))
+	}
+	for _, res := range want {
+		got, ok, err := st.Get(res.Scenario.Digest())
+		if err != nil || !ok {
+			t.Fatalf("recovered Get(%s): ok=%v err=%v", res.Scenario.Digest()[:12], ok, err)
+		}
+		canonEq(t, res, got)
+	}
+	return st
+}
+
+func TestCompactCrashPreRename(t *testing.T) {
+	dir := t.TempDir()
+	results := testResults(t)
+	fs := faults.New().CrashAt("compact_pre_rename")
+	st := openF(t, dir, fs)
+	if err := st.PutBatch(results); err != nil {
+		t.Fatal(err)
+	}
+	wantCrash(t, st, "compact_pre_rename", func() { st.Compact(0) })
+	// The rename never happened: the old log is authoritative and the
+	// dead temp file must be swept at open.
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); err != nil {
+		t.Fatalf("crash before rename should leave the temp on disk: %v", err)
+	}
+	reopenAndVerify(t, dir, results)
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived recovery (err=%v)", err)
+	}
+}
+
+func TestCompactCrashPostRename(t *testing.T) {
+	dir := t.TempDir()
+	results := testResults(t)
+	fs := faults.New().CrashAt("compact_post_rename")
+	st := openF(t, dir, fs)
+	if err := st.PutBatch(results); err != nil {
+		t.Fatal(err)
+	}
+	wantCrash(t, st, "compact_post_rename", func() { st.Compact(0) })
+	// Past the rename the rewritten file IS the log; recovery must index
+	// exactly the carried-over records even though the directory entry
+	// was never fsynced by the crashed process.
+	st2 := reopenAndVerify(t, dir, results)
+	if st2.Stats().Truncated != 0 {
+		t.Fatalf("post-rename recovery truncated %d bytes", st2.Stats().Truncated)
+	}
+}
+
+func TestCompactTornTempWrite(t *testing.T) {
+	dir := t.TempDir()
+	results := testResults(t)
+	// The 256 KiB bufio flush lands as one wrapped Write; tearing it
+	// leaves a half-built temp and an untouched old log.
+	fs := faults.New().Add(faults.Rule{Point: "compact_write", Action: faults.ActTorn})
+	st := openF(t, dir, fs)
+	if err := st.PutBatch(results); err != nil {
+		t.Fatal(err)
+	}
+	wantCrash(t, st, "compact_write", func() { st.Compact(0) })
+	reopenAndVerify(t, dir, results)
+}
+
+func TestAppendTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	results := testResults(t)
+	// log_write hits: 0 = magic at open, 1 = first batch, 2 = second
+	// batch — which lands half its bytes and crashes.
+	fs := faults.New().Add(faults.Rule{Point: "log_write", Action: faults.ActTorn, After: 2})
+	st := openF(t, dir, fs)
+	if err := st.PutBatch(results[:5]); err != nil {
+		t.Fatal(err)
+	}
+	wantCrash(t, st, "log_write", func() { st.PutBatch(results[5:]) })
+	// Half the batch's bytes landed: recovery keeps whatever complete
+	// records that prefix holds and truncates the torn remainder — the
+	// first batch is untouchable, the second partially lost.
+	st2 := openT(t, dir)
+	if n := st2.Len(); n < 5 || n >= len(results) {
+		t.Fatalf("recovered Len = %d, want in [5, %d)", n, len(results))
+	}
+	if st2.Stats().Truncated == 0 {
+		t.Fatal("recovery reported no truncation after a torn append")
+	}
+	for _, res := range results[:5] {
+		got, ok, err := st2.Get(res.Scenario.Digest())
+		if err != nil || !ok {
+			t.Fatalf("first-batch Get after recovery: ok=%v err=%v", ok, err)
+		}
+		canonEq(t, res, got)
+	}
+	// The store is fully writable again: the lost records re-land.
+	if err := st2.PutBatch(results[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != len(results) {
+		t.Fatalf("Len after re-put = %d, want %d", st2.Len(), len(results))
+	}
+}
+
+func TestCompactSyncErrorLeavesOldLog(t *testing.T) {
+	dir := t.TempDir()
+	results := testResults(t)
+	fs := faults.New().Fail("compact_sync")
+	st := openF(t, dir, fs)
+	if err := st.PutBatch(results); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(0); err == nil {
+		t.Fatal("Compact succeeded through an injected temp-file fsync failure")
+	}
+	// The error path cleaned up: no temp, old log intact, store usable.
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("failed compaction left its temp behind (err=%v)", err)
+	}
+	for _, res := range results {
+		if _, ok, err := st.Get(res.Scenario.Digest()); err != nil || !ok {
+			t.Fatalf("Get after failed compact: ok=%v err=%v", ok, err)
+		}
+	}
+	if st.Stats().Compactions != 0 {
+		t.Fatal("a failed compaction counted as completed")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitSkipsCoveredBarrier(t *testing.T) {
+	results := testResults(t)
+	// Hold the first fsync open at the gate; a second put whose bytes
+	// land during the hold is covered by that fsync and must skip its
+	// own barrier entirely.
+	fs := faults.New().Add(faults.Rule{
+		Point: "store_sync_gate", Action: faults.ActSleep, Delay: 250 * time.Millisecond, Times: 1,
+	})
+	st := openF(t, t.TempDir(), fs)
+	defer st.Close()
+	baseline := fs.Hits("log_sync") // open-time magic fsync
+
+	done := make(chan error, 1)
+	go func() { done <- st.Put(results[0]) }()
+	// The gate hit count flips the moment the first put wins syncMu and
+	// enters its injected sleep.
+	for fs.Hits("store_sync_gate") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := st.Put(results[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Hits("log_sync") - baseline; got != 1 {
+		t.Fatalf("two group-committed puts paid %d fsyncs, want 1", got)
+	}
+	for _, res := range results[:2] {
+		if _, ok, err := st.Get(res.Scenario.Digest()); err != nil || !ok {
+			t.Fatalf("Get after group commit: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func TestHotCacheServesWithoutDiskReads(t *testing.T) {
+	results := testResults(t)
+	fs := faults.New() // no rules: pure hit counting
+	st := openF(t, t.TempDir(), fs, WithHotCache(4))
+	defer st.Close()
+	if err := st.PutBatch(results[:8]); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh puts enter the LRU; with capacity 4 the last four puts are
+	// resident and must serve without touching the log.
+	readsBefore := fs.Hits("log_read")
+	hot := results[7]
+	got, ok, err := st.Get(hot.Scenario.Digest())
+	if err != nil || !ok {
+		t.Fatalf("hot Get: ok=%v err=%v", ok, err)
+	}
+	canonEq(t, hot, got)
+	if fs.Hits("log_read") != readsBefore {
+		t.Fatal("a hot-cache hit read the log")
+	}
+	// An evicted-from-hot record pays one disk read, then is hot again.
+	cold := results[0]
+	if _, ok, err := st.Get(cold.Scenario.Digest()); err != nil || !ok {
+		t.Fatalf("cold Get: ok=%v err=%v", ok, err)
+	}
+	if fs.Hits("log_read") != readsBefore+1 {
+		t.Fatalf("cold Get paid %d reads, want 1", fs.Hits("log_read")-readsBefore)
+	}
+	if _, ok, err := st.Get(cold.Scenario.Digest()); err != nil || !ok {
+		t.Fatalf("re-Get: ok=%v err=%v", ok, err)
+	}
+	if fs.Hits("log_read") != readsBefore+1 {
+		t.Fatal("a just-read record was not promoted to the hot cache")
+	}
+	stats := st.Stats()
+	if stats.HotHits < 2 {
+		t.Fatalf("HotHits = %d, want >= 2", stats.HotHits)
+	}
+	if stats.HotEntries > 4 {
+		t.Fatalf("HotEntries = %d exceeds the capacity of 4", stats.HotEntries)
+	}
+}

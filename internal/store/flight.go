@@ -1,0 +1,44 @@
+package store
+
+import "idonly/internal/engine"
+
+// flight is one in-flight computation of a scenario digest. The leader
+// (whoever published the flight) computes, fills res/ok, and closes
+// done; everyone else who asked for the same digest while it flew
+// waits on done instead of recomputing. ok=false means the leader
+// abandoned the flight (it errored or panicked before fulfilling) and
+// the follower must fall back to computing locally — a flight is a
+// fast path, never a correctness dependency.
+type flight struct {
+	done chan struct{}
+	res  engine.Result
+	ok   bool
+}
+
+// beginFlight registers interest in a digest's computation. The first
+// caller becomes the leader (leader=true) and MUST eventually call
+// finishFlight exactly once — abandoning a flight without finishing it
+// would strand every follower forever. Later callers get the existing
+// flight and leader=false.
+func (s *Store) beginFlight(digest string) (*flight, bool) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if f, ok := s.flights[digest]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[digest] = f
+	return f, true
+}
+
+// finishFlight publishes the leader's result (ok=true) or abandonment
+// (ok=false) and wakes every follower. The flight is deregistered
+// first, so a Get-missing caller that arrives after this starts a new
+// flight rather than observing a completed one.
+func (s *Store) finishFlight(digest string, f *flight, res engine.Result, ok bool) {
+	f.res, f.ok = res, ok
+	s.fmu.Lock()
+	delete(s.flights, digest)
+	s.fmu.Unlock()
+	close(f.done)
+}

@@ -16,12 +16,25 @@
 //	        payload  JSON engine.Result
 //	        crc      uint32 big-endian      CRC-32C over key ∥ payload
 //
-// Records are only ever appended; a batch is flushed with one fsync
-// (fsync-on-batch). Open scans the log and truncates a torn or corrupt
-// tail back to the last record whose CRC verifies, so a crash mid-batch
-// loses at most that unflushed batch, never the records before it.
-// Reads go through ReadAt and take no lock against each other, so any
-// number of readers proceed concurrently with one appender.
+// Records are only ever appended; a batch is flushed with one fsync,
+// and concurrent batches group-commit: a batch whose bytes were already
+// covered by another batch's fsync skips its own barrier. Open scans
+// the log and truncates a torn or corrupt tail back to the last record
+// whose CRC verifies, so a crash mid-batch loses at most the unflushed
+// batches, never the records before them.
+//
+// The log never reclaims space on its own; Compact rewrites the live
+// records into a fresh log via temp-file + fsync + atomic rename, and
+// a store opened WithMaxBytes evicts the least-recently-Get records
+// whenever an append pushes the log past the bound (every index entry
+// carries a logical access clock bumped on Get). A store opened
+// WithHotCache additionally serves repeat Gets of the hottest results
+// from memory without touching the log at all.
+//
+// Every disk operation passes through the faults failpoint plane when
+// the store is opened WithFaults, so chaos tests can error, delay,
+// tear, or crash any read, append, fsync, or compaction step; with no
+// fault set attached the log handle is a bare *os.File.
 package store
 
 import (
@@ -31,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,11 +53,13 @@ import (
 	"time"
 
 	"idonly/internal/engine"
+	"idonly/internal/faults"
 	"idonly/internal/obs"
 )
 
 const (
 	logName   = "results.log"
+	tmpName   = logName + ".tmp"
 	magic     = "IDONLYS1"
 	keySize   = 32
 	headerLen = 4 + keySize // length prefix + key
@@ -58,34 +74,100 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// recordLoc locates one record's payload inside the log.
-type recordLoc struct {
+// logFile is the store's view of its segment file: exactly the
+// operations the log needs, satisfied by a bare *os.File and by the
+// failpoint wrapper faults.File. The indirection is the entire cost of
+// the chaos plane when it is disabled.
+type logFile interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// recordEnt locates one record's payload inside the log and carries
+// its logical access time — the store-wide clock value of the last Get
+// that touched it, which Compact uses to pick eviction victims.
+type recordEnt struct {
 	off int64 // payload start
 	n   int   // payload length
+	use atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Records   int   `json:"records"`   // distinct digests indexed
-	LogBytes  int64 `json:"log_bytes"` // current log size
-	Gets      int64 `json:"gets"`      // Get calls since open
-	Hits      int64 `json:"hits"`      // Gets that found a record
-	Puts      int64 `json:"puts"`      // records appended since open
-	DupPuts   int64 `json:"dup_puts"`  // Puts dropped as already present
-	Truncated int64 `json:"truncated"` // bytes cut from a corrupt tail at open
+	Records        int   `json:"records"`         // distinct digests indexed
+	LogBytes       int64 `json:"log_bytes"`       // current log size
+	Gets           int64 `json:"gets"`            // Get calls since open
+	Hits           int64 `json:"hits"`            // Gets that found a record
+	HotHits        int64 `json:"hot_hits"`        // hits served from the in-memory LRU (no disk read)
+	Puts           int64 `json:"puts"`            // records appended since open
+	DupPuts        int64 `json:"dup_puts"`        // Puts dropped as already present
+	Truncated      int64 `json:"truncated"`       // bytes cut from a corrupt tail at open
+	Coalesced      int64 `json:"coalesced"`       // misses served by another in-flight computation
+	Compactions    int64 `json:"compactions"`     // Compact calls that swapped a new log in
+	Evicted        int64 `json:"evicted"`         // records dropped by compaction to meet the size bound
+	ReclaimedBytes int64 `json:"reclaimed_bytes"` // log bytes reclaimed by compaction
+	HotEntries     int   `json:"hot_entries"`     // results currently held by the in-memory LRU
 }
 
 // Store is an open result store. All methods are safe for concurrent
-// use: appends serialize on an internal mutex, reads share an RWMutex'd
-// index and an os.File ReadAt (itself concurrency-safe).
+// use: appends serialize on an internal mutex, fsyncs group-commit on
+// a second, and reads share an RWMutex'd index whose read side is held
+// across the log ReadAt so compaction can swap the file underneath
+// without stranding an in-flight read.
 type Store struct {
-	mu   sync.Mutex // serializes appends and Close
-	f    *os.File
-	size int64 // current log length (next append offset)
+	mu   sync.Mutex   // serializes appends, compaction, and Close
+	f    logFile      // active log handle (swap under mu + imu)
+	raw  *os.File     // unwrapped handle of f, for flock and abandon
+	size atomic.Int64 // current log length (next append offset); stored under mu
+
+	// pending counts batches whose bytes are written but whose index
+	// entries are not yet published; Compact and Close wait it out so
+	// they never rewrite or drop a batch mid-commit.
+	pending sync.WaitGroup
+
+	// syncMu serializes fsyncs; durable is the log offset the last
+	// fsync covered, so a group-committed batch whose target offset is
+	// already durable skips its own barrier entirely.
+	syncMu  sync.Mutex
+	durable int64
+
 	path string
+	dir  string
 
 	imu   sync.RWMutex
-	index map[string]recordLoc
+	index map[string]*recordEnt
+
+	// clock is the logical access clock: bumped on every Get that
+	// finds a record, stored into that record's index entry.
+	clock atomic.Int64
+
+	// hot is the optional in-memory result LRU (WithHotCache). Nil
+	// when disabled.
+	hot *hotCache
+
+	// faults is the optional failpoint set (WithFaults). Nil in
+	// production; the wrapped log handle nil-checks it per op.
+	faults *faults.Set
+
+	// maxBytes is the log size watermark (WithMaxBytes): an append
+	// that pushes the log past it triggers a compaction down to 3/4 of
+	// the bound. Zero means unbounded.
+	maxBytes   int64
+	compacting atomic.Bool
+
+	// tmpf is the compaction temp file while one is in flight; tracked
+	// only so abandon can close it after an injected crash.
+	tmpf *os.File
+
+	// flights are the in-flight per-digest computations (singleflight);
+	// see flight.go.
+	fmu     sync.Mutex
+	flights map[string]*flight
 
 	// readBufs pools Get's payload buffers: json.Unmarshal never
 	// retains its input, so the buffer is safe to recycle the moment a
@@ -95,9 +177,11 @@ type Store struct {
 	// life of a long-running serve process.
 	readBufs sync.Pool
 
-	gets, hits, puts, dups atomic.Int64
-	truncated              int64
-	closed                 bool
+	gets, hits, puts, dups          atomic.Int64
+	hotHits, coalesced              atomic.Int64
+	compactions, evicted, reclaimed atomic.Int64
+	truncated                       int64
+	closed                          bool
 
 	// inst is the optional metric set installed by Instrument. Nil
 	// until then, so the uninstrumented hot path pays one atomic load
@@ -105,21 +189,67 @@ type Store struct {
 	inst atomic.Pointer[instruments]
 
 	// events is the optional flight recorder attached by RecordEvents;
-	// appends and recoveries land there as structured events. Same
-	// nil-check contract as inst.
+	// appends, recoveries, and compactions land there as structured
+	// events. Same nil-check contract as inst.
 	events atomic.Pointer[obs.Recorder]
+}
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithFaults routes every disk operation of the store through the
+// failpoint set: log ops check log_read/log_write/log_sync/...,
+// compaction additionally checks compact_write/compact_sync plus the
+// protocol points compact_pre_rename and compact_post_rename. A nil
+// set is valid and equivalent to omitting the option.
+func WithFaults(set *faults.Set) Option { return func(s *Store) { s.faults = set } }
+
+// WithMaxBytes bounds the log: an append that pushes it past n bytes
+// triggers a compaction that evicts least-recently-Get records until
+// the log fits in 3n/4 (the hysteresis keeps back-to-back appends from
+// compacting every time). n <= 0 means unbounded.
+func WithMaxBytes(n int64) Option { return func(s *Store) { s.maxBytes = n } }
+
+// WithHotCache keeps the n most-recently-Get results in memory, so
+// repeat reads of a hot working set skip the log's ReadAt + JSON
+// decode entirely. n <= 0 disables the cache.
+func WithHotCache(n int) Option { return func(s *Store) { s.hot = newHotCache(n) } }
+
+// wrapLog wraps f behind the failpoint plane when one is attached;
+// without faults the interface holds the bare *os.File.
+func (s *Store) wrapLog(f *os.File, name string) logFile {
+	if s.faults == nil {
+		return f
+	}
+	return faults.WrapFile(f, s.faults, name)
 }
 
 // Open opens (creating if needed) the store rooted at dir. A torn or
 // corrupt log tail — the signature of a crash mid-batch — is detected
 // by CRC and truncated back to the last intact record; Stats.Truncated
-// reports how many bytes were cut.
-func Open(dir string) (*Store, error) {
+// reports how many bytes were cut. A stale compaction temp file (a
+// crash before the atomic rename) is removed: the old log is still the
+// authoritative one.
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	path := filepath.Join(dir, logName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	s := &Store{
+		path:    filepath.Join(dir, logName),
+		dir:     dir,
+		index:   make(map[string]*recordEnt),
+		flights: make(map[string]*flight),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// A crash between writing results.log.tmp and renaming it leaves
+	// the tmp behind; the rename never happened, so the old log wins
+	// and the half-built replacement is dead weight.
+	if err := os.Remove(filepath.Join(dir, tmpName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: removing stale compaction temp: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -127,7 +257,8 @@ func Open(dir string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	s := &Store{f: f, path: path, index: make(map[string]recordLoc)}
+	s.raw = f
+	s.f = s.wrapLog(f, "log")
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -143,7 +274,9 @@ func Open(dir string) (*Store, error) {
 }
 
 // recover scans the log, building the index and truncating anything
-// after the last record that verifies.
+// after the last record that verifies. Entries get ascending access
+// clocks in log order, so records never Get since open evict
+// oldest-first.
 func (s *Store) recover() error {
 	fi, err := s.f.Stat()
 	if err != nil {
@@ -157,7 +290,7 @@ func (s *Store) recover() error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		s.size = int64(len(magic))
+		s.setSize(int64(len(magic)))
 		return nil
 	}
 	if size < int64(len(magic)) {
@@ -194,11 +327,22 @@ func (s *Store) recover() error {
 			return s.truncateTo(off, size, false)
 		}
 		key := hex.EncodeToString(body[:keySize])
-		s.index[key] = recordLoc{off: off + int64(headerLen), n: n}
+		ent := &recordEnt{off: off + int64(headerLen), n: n}
+		ent.use.Store(s.clock.Add(1))
+		s.index[key] = ent
 		off += int64(headerLen + n + 4)
 	}
-	s.size = off
+	s.setSize(off)
 	return nil
+}
+
+// setSize records the log length and marks it durable — only valid
+// where the caller just fsynced (recovery and compaction).
+func (s *Store) setSize(n int64) {
+	s.size.Store(n)
+	s.syncMu.Lock()
+	s.durable = n
+	s.syncMu.Unlock()
 }
 
 // truncateTo cuts the log at off (rewriting the magic when the header
@@ -221,7 +365,7 @@ func (s *Store) truncateTo(off, size int64, rewriteMagic bool) error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	s.size = off
+	s.setSize(off)
 	return nil
 }
 
@@ -240,31 +384,45 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
-// Get returns the stored result for the digest, if any. It never
-// blocks on writers beyond the index lookup.
+// Get returns the stored result for the digest, if any. The hot LRU is
+// consulted first; a disk read holds the index's read lock across the
+// ReadAt so a concurrent compaction cannot close the log handle out
+// from under it. Every hit bumps the record's access clock.
 func (s *Store) Get(digest string) (engine.Result, bool, error) {
 	if in := s.inst.Load(); in != nil {
 		defer in.getLat.ObserveSince(time.Now())
 	}
 	s.gets.Add(1)
+	if s.hot != nil {
+		if res, ok := s.hot.get(digest); ok {
+			s.touch(digest)
+			s.hits.Add(1)
+			s.hotHits.Add(1)
+			return res, true, nil
+		}
+	}
 	s.imu.RLock()
-	loc, ok := s.index[digest]
-	s.imu.RUnlock()
+	ent, ok := s.index[digest]
 	if !ok {
+		s.imu.RUnlock()
 		return engine.Result{}, false, nil
 	}
+	ent.use.Store(s.clock.Add(1))
+	n, off := ent.n, ent.off
 	var payload []byte
-	if b, _ := s.readBufs.Get().(*[]byte); b != nil && cap(*b) >= loc.n {
-		payload = (*b)[:loc.n]
+	if b, _ := s.readBufs.Get().(*[]byte); b != nil && cap(*b) >= n {
+		payload = (*b)[:n]
 	} else {
-		payload = make([]byte, loc.n)
+		payload = make([]byte, n)
 	}
+	_, err := s.f.ReadAt(payload, off)
+	s.imu.RUnlock()
 	defer func() {
 		if cap(payload) <= maxPooledReadBuf {
 			s.readBufs.Put(&payload)
 		}
 	}()
-	if _, err := s.f.ReadAt(payload, loc.off); err != nil {
+	if err != nil {
 		return engine.Result{}, false, fmt.Errorf("store: reading %s: %w", digest[:12], err)
 	}
 	var res engine.Result
@@ -272,41 +430,103 @@ func (s *Store) Get(digest string) (engine.Result, bool, error) {
 		return engine.Result{}, false, fmt.Errorf("store: decoding %s: %w", digest[:12], err)
 	}
 	s.hits.Add(1)
+	if s.hot != nil {
+		s.hot.add(digest, res)
+	}
 	return res, true, nil
 }
 
-// Put stores one result (a single-record batch: one append, one fsync).
+// touch bumps the access clock on the digest's index entry (the hot
+// cache served the bytes, but eviction ranking lives on the index).
+func (s *Store) touch(digest string) {
+	s.imu.RLock()
+	if ent, ok := s.index[digest]; ok {
+		ent.use.Store(s.clock.Add(1))
+	}
+	s.imu.RUnlock()
+}
+
+// Put stores one result (a single-record batch).
 // A result whose digest is already present is dropped — content
 // addressing makes the second copy redundant by construction.
 func (s *Store) Put(res engine.Result) error {
 	return s.PutBatch([]engine.Result{res})
 }
 
-// PutBatch appends every not-yet-present result and flushes the batch
-// with a single fsync, so large sweeps pay one disk barrier rather than
-// one per scenario. The index is published only after the fsync
+// PutBatch appends every not-yet-present result and makes the batch
+// durable with at most one fsync; concurrent batches group-commit, so
+// a batch whose bytes another batch's barrier already covered pays no
+// fsync at all. The index is published only after the covering fsync
 // succeeds: a reader can never be handed a record the disk might still
-// lose.
+// lose. An append that pushes the log past the WithMaxBytes watermark
+// triggers a compaction before returning.
 func (s *Store) PutBatch(results []engine.Result) error {
+	if err := s.putBatch(results); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+func (s *Store) putBatch(results []engine.Result) error {
 	if len(results) == 0 {
 		return nil
 	}
 	if in := s.inst.Load(); in != nil {
 		defer in.appendLat.ObserveSince(time.Now())
 	}
-	type staged struct {
-		key string
-		loc recordLoc
+	target, stage, nbytes, err := s.appendRecords(results)
+	if err != nil || len(stage) == 0 {
+		return err
 	}
+	// The batch's bytes are on the file; group-commit the barrier.
+	if err := s.syncTo(target); err != nil {
+		s.pending.Done()
+		return err
+	}
+	s.imu.Lock()
+	for _, st := range stage {
+		s.index[st.key] = st.ent
+	}
+	s.imu.Unlock()
+	if s.hot != nil {
+		// Fresh results are the hottest there are: the warm re-sweep
+		// that follows a cold compute should hit memory, not disk.
+		for _, st := range stage {
+			s.hot.add(st.key, st.res)
+		}
+	}
+	s.puts.Add(int64(len(stage)))
+	s.pending.Done()
+	if rec := s.events.Load(); rec != nil {
+		rec.Record("store_append",
+			obs.F("records", strconv.Itoa(len(stage))),
+			obs.F("bytes", strconv.Itoa(nbytes)))
+	}
+	return nil
+}
+
+type stagedPut struct {
+	key string
+	ent *recordEnt
+	res engine.Result
+}
+
+// appendRecords encodes and writes the batch under the append mutex,
+// reserving [off, target) of the log. On success (stage non-empty) the
+// store's pending count is raised; the caller owns the matching Done.
+// The torn-write failpoint can panic out of here: the mutex unwinds
+// via defer, the pending count was never raised, and the half-written
+// batch is exactly what open-time recovery truncates.
+func (s *Store) appendRecords(results []engine.Result) (target int64, stage []stagedPut, nbytes int, err error) {
 	var buf []byte
-	var stage []staged
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("store: closed")
+		return 0, nil, 0, errors.New("store: closed")
 	}
-	off := s.size
+	off := s.size.Load()
 	seen := make(map[string]bool, len(results))
 	for _, res := range results {
 		key := res.Scenario.Digest()
@@ -317,14 +537,14 @@ func (s *Store) PutBatch(results []engine.Result) error {
 		seen[key] = true
 		rawKey, err := hex.DecodeString(key)
 		if err != nil || len(rawKey) != keySize {
-			return fmt.Errorf("store: bad digest %q", key)
+			return 0, nil, 0, fmt.Errorf("store: bad digest %q", key)
 		}
 		payload, err := json.Marshal(&res)
 		if err != nil {
-			return fmt.Errorf("store: encoding %s: %w", res.Scenario.Name, err)
+			return 0, nil, 0, fmt.Errorf("store: encoding %s: %w", res.Scenario.Name, err)
 		}
 		if len(payload) > maxPayload {
-			return fmt.Errorf("store: result %s exceeds the %d-byte record bound", res.Scenario.Name, maxPayload)
+			return 0, nil, 0, fmt.Errorf("store: result %s exceeds the %d-byte record bound", res.Scenario.Name, maxPayload)
 		}
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -335,33 +555,67 @@ func (s *Store) PutBatch(results []engine.Result) error {
 		var crc [4]byte
 		binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf[rec+4:], crcTable))
 		buf = append(buf, crc[:]...)
-		stage = append(stage, staged{key: key, loc: recordLoc{
-			off: off + int64(rec+headerLen),
-			n:   len(payload),
-		}})
+		ent := &recordEnt{off: off + int64(rec+headerLen), n: len(payload)}
+		ent.use.Store(s.clock.Add(1))
+		stage = append(stage, stagedPut{key: key, ent: ent, res: res})
 	}
 	if len(stage) == 0 {
-		return nil
+		return 0, nil, 0, nil
 	}
 	if _, err := s.f.WriteAt(buf, off); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return 0, nil, 0, fmt.Errorf("store: %w", err)
 	}
+	target = off + int64(len(buf))
+	s.size.Store(target)
+	s.pending.Add(1)
+	return target, stage, len(buf), nil
+}
+
+// syncTo makes the log durable through at least target. Fsyncs
+// serialize on syncMu; a caller that arrives after another's barrier
+// already covered its bytes returns without touching the disk — this
+// is the group commit that lets N concurrent small batches share one
+// barrier instead of paying N.
+func (s *Store) syncTo(target int64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if target <= s.durable {
+		return nil
+	}
+	// store_sync_gate sits between winning the barrier and loading the
+	// covered offset: a sleep here widens the window in which other
+	// writers' bytes land and get credited to this fsync, which is how
+	// tests pin down group commit deterministically.
+	if err := s.faults.Check("store_sync_gate"); err != nil {
+		return err
+	}
+	// Everything written before this point is covered by the fsync;
+	// size only advances after a WriteAt completes, so loading it here
+	// never over-promises.
+	covered := s.size.Load()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	s.size = off + int64(len(buf))
-	s.imu.Lock()
-	for _, st := range stage {
-		s.index[st.key] = st.loc
-	}
-	s.imu.Unlock()
-	s.puts.Add(int64(len(stage)))
-	if rec := s.events.Load(); rec != nil {
-		rec.Record("store_append",
-			obs.F("records", strconv.Itoa(len(stage))),
-			obs.F("bytes", strconv.Itoa(len(buf))))
-	}
+	s.durable = covered
 	return nil
+}
+
+// maybeCompact runs the watermark check after an append: past the
+// bound, compact down to 3/4 of it (the hysteresis gap keeps a hot
+// appender from compacting on every batch).
+func (s *Store) maybeCompact() {
+	if s.maxBytes <= 0 || s.size.Load() <= s.maxBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	if _, err := s.Compact(s.maxBytes - s.maxBytes/4); err != nil {
+		if rec := s.events.Load(); rec != nil {
+			rec.Record("store_compact", obs.F("err", err.Error()))
+		}
+	}
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -369,17 +623,24 @@ func (s *Store) Stats() Stats {
 	s.imu.RLock()
 	records := len(s.index)
 	s.imu.RUnlock()
-	s.mu.Lock()
-	size := s.size
-	s.mu.Unlock()
+	hotEntries := 0
+	if s.hot != nil {
+		hotEntries = s.hot.len()
+	}
 	return Stats{
-		Records:   records,
-		LogBytes:  size,
-		Gets:      s.gets.Load(),
-		Hits:      s.hits.Load(),
-		Puts:      s.puts.Load(),
-		DupPuts:   s.dups.Load(),
-		Truncated: s.truncated,
+		Records:        records,
+		LogBytes:       s.size.Load(),
+		Gets:           s.gets.Load(),
+		Hits:           s.hits.Load(),
+		HotHits:        s.hotHits.Load(),
+		Puts:           s.puts.Load(),
+		DupPuts:        s.dups.Load(),
+		Truncated:      s.truncated,
+		Coalesced:      s.coalesced.Load(),
+		Compactions:    s.compactions.Load(),
+		Evicted:        s.evicted.Load(),
+		ReclaimedBytes: s.reclaimed.Load(),
+		HotEntries:     hotEntries,
 	}
 }
 
@@ -391,10 +652,23 @@ func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
+	s.pending.Wait()
 	s.closed = true
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	return s.f.Close()
+}
+
+// abandon closes the store's raw descriptors without syncing or
+// unlocking anything — the test-only stand-in for process death after
+// an injected crash. flock conflicts between two handles held by one
+// process, so a chaos test must abandon the crashed store before
+// reopening the directory. The Store value must not be used again.
+func (s *Store) abandon() {
+	if s.tmpf != nil {
+		s.tmpf.Close()
+	}
+	s.raw.Close()
 }
